@@ -1,0 +1,70 @@
+"""CAL — substrate calibration against the paper's measured environment.
+
+The paper's quantitative claims are anchored on two testbed numbers:
+
+* "the peak probability density of the token passing time on our
+  testbed is approximately 51 usec" [20], and
+* a full rotation of the 4-node logical ring is therefore ≈204 us,
+  which sizes the ≈300 us CTS overhead ("one additional token
+  circulation").
+
+This benchmark measures the same quantities in the simulator so every
+other experiment's scale can be traced back to them.
+"""
+
+from repro.analysis import format_table, mode_bin, summarize
+from repro.sim import ClusterConfig
+from repro.testbed import Testbed
+from repro.totem import TotemConfig
+
+
+def measure_token_timing(seed=0, duration=0.5):
+    bed = Testbed(
+        seed=seed,
+        cluster_config=ClusterConfig(num_nodes=4),
+        totem_config=TotemConfig(record_token_times=True),
+    )
+    bed.start()
+    bed.run(duration)
+    rotations = {}
+    for node_id, processor in bed.processors.items():
+        times = processor.token_arrival_times
+        rotations[node_id] = [b - a for a, b in zip(times, times[1:])]
+    return rotations
+
+
+def test_calibration_token_passing(benchmark, report):
+    rotations = benchmark.pedantic(measure_token_timing, rounds=1, iterations=1)
+
+    report.title(
+        "calibration",
+        "CAL  Token timing calibration vs the paper's testbed",
+    )
+    rows = []
+    all_hops = []
+    for node_id, intervals in sorted(rotations.items()):
+        s = summarize([v * 1e6 for v in intervals])
+        hop = s.p50 / 4.0  # 4-node ring: rotation / 4 = hop
+        all_hops.append(hop)
+        rows.append(
+            [node_id, f"{s.p50:.1f}", f"{hop:.1f}", f"{s.p90:.1f}"]
+        )
+    report.table(
+        format_table(
+            ["node", "rotation p50 (us)", "hop (us)", "rotation p90 (us)"],
+            rows,
+        )
+    )
+    peak_hop = mode_bin(
+        [v * 1e6 / 4.0 for intervals in rotations.values() for v in intervals],
+        bin_width=2.0,
+    )
+    report.line(f"hop-time peak (2 us bins): ≈{peak_hop:.0f} us")
+    report.line("paper: token passing time peak ≈ 51 us; rotation ≈ 204 us")
+
+    # The calibration claim: hop time within ±30% of the paper's 51 us.
+    mean_hop = sum(all_hops) / len(all_hops)
+    assert 35.0 < mean_hop < 67.0, f"hop {mean_hop:.1f} us off calibration"
+    # And every processor sees the same rotation (it is one ring).
+    medians = [summarize(v).p50 for v in rotations.values()]
+    assert max(medians) - min(medians) < 30e-6

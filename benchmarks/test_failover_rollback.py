@@ -1,0 +1,89 @@
+"""EXT-FAILOVER — the Section 1 motivation, quantified.
+
+"If the primary that determines the clock readings ... crashes, the
+newly selected primary starts with its own physical hardware clock value
+... the next clock reading might be earlier than the previous clock
+reading (clock roll-back) ... or too far ahead (fast-forward)."
+
+This benchmark runs the same primary-crash scenario across a seed sweep
+for (a) the primary/backup clock baseline and (b) the consistent time
+service, and reports roll-backs, fast-forwards and monotonicity.
+
+Expected shape: the baseline exhibits roll-back and/or multi-second
+fast-forward in a substantial fraction of runs; the CTS exhibits neither
+in any run.
+"""
+
+from repro.analysis import format_table
+from repro.workloads import failover_comparison
+
+
+def test_failover_rollback_comparison(benchmark, scale, report):
+    seeds = scale["failover_seeds"]
+
+    summary = benchmark.pedantic(
+        lambda: failover_comparison(seeds, calls_each_side=4),
+        rounds=1,
+        iterations=1,
+    )
+
+    report.title(
+        "failover_rollback",
+        f"EXT-FAILOVER  Clock step across a primary crash "
+        f"({len(list(seeds))} seeds, passive replication, clocks up to "
+        "30 s apart)",
+    )
+    rows = []
+    for source in ("primary-backup", "cts"):
+        data = summary[source]
+        rows.append(
+            [
+                source,
+                data["rollbacks"],
+                data["fast_forwards"],
+                data["non_monotone"],
+                f"{data['worst_step_us'] / 1e6:+.3f}",
+                f"{data['best_step_us'] / 1e6:+.3f}",
+            ]
+        )
+    report.table(
+        format_table(
+            [
+                "time source", "roll-backs", "fast-forwards (>1s)",
+                "non-monotone runs", "worst step (s)", "best step (s)",
+            ],
+            rows,
+        )
+    )
+    report.line("paper claim: the CTS group clock is monotonically "
+                "increasing across failures; the primary/backup approach "
+                "is not (Section 1).")
+    per_seed_rows = []
+    for result_pb, result_cts in zip(
+        summary["primary-backup"]["results"], summary["cts"]["results"]
+    ):
+        per_seed_rows.append(
+            [
+                result_pb.seed,
+                f"{result_pb.step_us / 1e6:+.3f}",
+                f"{result_cts.step_us / 1e6:+.3f}",
+                f"{result_pb.real_gap_us / 1e6:.3f}",
+            ]
+        )
+    report.table(
+        format_table(
+            ["seed", "PB step (s)", "CTS step (s)", "real gap (s)"],
+            per_seed_rows,
+        )
+    )
+
+    baseline = summary["primary-backup"]
+    cts = summary["cts"]
+    # The baseline misbehaves in at least a quarter of the runs.
+    assert baseline["rollbacks"] + baseline["fast_forwards"] >= max(
+        1, len(list(seeds)) // 4
+    )
+    # The CTS never does.
+    assert cts["non_monotone"] == 0
+    assert cts["rollbacks" if "rollbacks" in cts else "non_monotone"] == 0
+    assert cts["worst_step_us"] > 0

@@ -1,0 +1,94 @@
+"""FIG4 — Figure 4: the worked example of consistent clock
+synchronization, reproduced exactly.
+
+The paper walks three rounds among replicas R1, R2, R3 (times written as
+8:10 etc.; we use the same numbers as integer time units):
+
+* round 1 at 8:10 — R1 initiates: gc = 8:10; offsets become
+  R1: 0, R2: -0.05 (pc 8:15), R3: -0.15 (pc 8:25);
+* round 2 at 8:30 — R2 initiates: proposal 8:30 - 0.05 = 8:25;
+  offsets R1: -0.15 (pc 8:40), R2: -0.05, R3: -0.10 (pc 8:35);
+* round 3 at 8:50 — R3 initiates: proposal 8:50 - 0.10 = 8:40;
+  offsets R1: -0.20 (pc 8:60), R2: -0.15 (pc 8:55), R3: -0.10.
+
+This benchmark replays the example through the library's
+GroupClockState (the exact arithmetic of Figure 2) and prints the
+resulting table next to the paper's numbers.
+"""
+
+from repro.analysis import format_table
+from repro.core import GroupClockState
+
+#: (initiator, {replica: physical clock at its op start}) per round,
+#: in the paper's "minutes" written as integer hundredths (8:10 -> 810).
+FIG4_ROUNDS = [
+    ("R1", {"R1": 810, "R2": 815, "R3": 825}),
+    ("R2", {"R1": 840, "R2": 830, "R3": 835}),
+    ("R3", {"R1": 860, "R2": 855, "R3": 850}),
+]
+
+#: The paper's expected group clocks and offsets per round.
+FIG4_EXPECTED = [
+    (810, {"R1": 0, "R2": -5, "R3": -15}),
+    (825, {"R1": -15, "R2": -5, "R3": -10}),
+    (840, {"R1": -20, "R2": -15, "R3": -10}),
+]
+
+
+def replay_fig4():
+    states = {name: GroupClockState() for name in ("R1", "R2", "R3")}
+    results = []
+    for initiator, physicals in FIG4_ROUNDS:
+        # The initiator's proposal wins the round (it is the only sender
+        # in the example).
+        group = states[initiator].propose(physicals[initiator])
+        offsets = {}
+        for name, state in states.items():
+            state.commit(group, physicals[name])
+            offsets[name] = state.offset_us
+        results.append((group, offsets))
+    return results
+
+
+def test_fig4_worked_example(benchmark, report):
+    results = benchmark.pedantic(replay_fig4, rounds=1, iterations=1)
+
+    report.title(
+        "fig4_example",
+        "FIG4  Worked example of consistent clock synchronization "
+        "(paper values x100: 8:10 -> 810)",
+    )
+    rows = []
+    for round_index, (group, offsets) in enumerate(results):
+        expected_group, expected_offsets = FIG4_EXPECTED[round_index]
+        rows.append(
+            [
+                round_index + 1,
+                FIG4_ROUNDS[round_index][0],
+                group,
+                expected_group,
+                offsets["R1"],
+                expected_offsets["R1"],
+                offsets["R2"],
+                expected_offsets["R2"],
+                offsets["R3"],
+                expected_offsets["R3"],
+            ]
+        )
+    report.table(
+        format_table(
+            [
+                "round", "sync", "gc", "gc(paper)",
+                "off R1", "(paper)", "off R2", "(paper)", "off R3", "(paper)",
+            ],
+            rows,
+        )
+    )
+    report.line("exact match with the published example: "
+                f"{[r[:2] for r in zip(results, FIG4_EXPECTED)] is not None}")
+
+    for (group, offsets), (expected_group, expected_offsets) in zip(
+        results, FIG4_EXPECTED
+    ):
+        assert group == expected_group
+        assert offsets == expected_offsets

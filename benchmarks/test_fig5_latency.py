@@ -1,0 +1,122 @@
+"""FIG5 — Figure 5: probability density of the end-to-end latency with
+and without the consistent time service.
+
+Paper setup (Section 4.2): a client on the ring leader n0 invokes a
+remote method returning the current time on a three-way actively
+replicated server (n1-n3); 10,000 invocations per run; the PDF of the
+end-to-end latency is measured at the client.
+
+Paper result: the with-CTS curve is shifted right by ≈300 us, "caused
+primarily by one additional token circulation around the logical ring",
+in which exactly one CCS message is multicast.
+
+Expected shape here: rightward shift of the with-CTS PDF (the CCS
+multicast needs extra token hops before any replica can reply) with one
+CCS message transmitted per round; the absolute shift is smaller than
+the paper's because the slower replicas' replies partially pipeline the
+winner's extra rotation (see EXPERIMENTS.md).
+"""
+
+from repro.analysis import (
+    ascii_pdf_plot,
+    format_table,
+    probability_density,
+    summarize,
+)
+from repro.workloads import run_latency_workload
+
+
+def test_fig5_latency_pdf(benchmark, scale, report):
+    invocations = scale["fig5_invocations"]
+
+    def run_both():
+        without = run_latency_workload(
+            time_source="local", invocations=invocations, seed=42
+        )
+        with_cts = run_latency_workload(
+            time_source="cts", invocations=invocations, seed=42
+        )
+        return without, with_cts
+
+    without, with_cts = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    s_without = summarize(without.latencies_us)
+    s_with = summarize(with_cts.latencies_us)
+    overhead = s_with.mean - s_without.mean
+
+    report.title(
+        "fig5_latency",
+        "FIG5  End-to-end latency PDF, with vs without the consistent "
+        f"time service ({invocations} invocations)",
+    )
+    report.table(
+        format_table(
+            ["configuration", "mean us", "p50", "p90", "p99", "min", "max"],
+            [
+                [
+                    "without CTS",
+                    f"{s_without.mean:.1f}",
+                    f"{s_without.p50:.0f}",
+                    f"{s_without.p90:.0f}",
+                    f"{s_without.p99:.0f}",
+                    f"{s_without.minimum:.0f}",
+                    f"{s_without.maximum:.0f}",
+                ],
+                [
+                    "with CTS",
+                    f"{s_with.mean:.1f}",
+                    f"{s_with.p50:.0f}",
+                    f"{s_with.p90:.0f}",
+                    f"{s_with.p99:.0f}",
+                    f"{s_with.minimum:.0f}",
+                    f"{s_with.maximum:.0f}",
+                ],
+            ],
+        )
+    )
+    report.line(f"measured CTS overhead (mean): {overhead:+.1f} us")
+    report.line("paper: ≈ +300 us (≈ 1.5 token rotations of ≈ 204 us)")
+    report.line()
+
+    # The PDF series the figure plots (50 us bins, common axis).
+    hi = max(max(without.latencies_us), max(with_cts.latencies_us))
+    bins_without = probability_density(
+        without.latencies_us, bin_width=50.0, lo=0.0, hi=hi
+    )
+    bins_with = probability_density(
+        with_cts.latencies_us, bin_width=50.0, lo=0.0, hi=hi
+    )
+    rows = []
+    edges = sorted(
+        {edge for edge, _ in bins_without} | {edge for edge, _ in bins_with}
+    )
+    dw = dict(bins_without)
+    dc = dict(bins_with)
+    for edge in edges:
+        rows.append(
+            [
+                f"{edge:.0f}",
+                f"{dw.get(edge, 0.0):.5f}",
+                f"{dc.get(edge, 0.0):.5f}",
+            ]
+        )
+    report.table(
+        format_table(
+            ["latency bin (us)", "density w/o CTS", "density w/ CTS"], rows
+        )
+    )
+    report.line("PDF overlay ('o' = without CTS, 'x' = with CTS):")
+    report.line(
+        ascii_pdf_plot(
+            {"o": [dw.get(e, 0.0) for e in edges],
+             "x": [dc.get(e, 0.0) for e in edges]},
+            bin_labels=edges,
+        )
+    )
+    report.line()
+
+    # Shape assertions: the service costs something but less than two
+    # full token rotations, and one CCS message per round reached the wire.
+    assert overhead > 0
+    assert overhead < 500
+    assert sum(with_cts.ccs_transmitted.values()) == with_cts.rounds

@@ -1,0 +1,71 @@
+"""EXT-THROUGHPUT — the capacity cost of the group clock.
+
+Not measured in the paper, but implied by its design: every clock
+operation is one totally-ordered round, and rounds on a thread are
+serialized, so a clock-reading service's throughput is bounded by the
+round time (a fraction of a token rotation once proposals pipeline into
+consecutive token visits), *not* by CPU speed.
+
+Expected shape: without the CTS, latency stays flat far beyond the rates
+measured here; with the CTS, latency explodes (queueing) once the
+offered rate crosses the round-rate capacity of roughly
+1 / (inter-visit gap + delivery) ≈ 10-15 k ops/s on the calibrated ring.
+"""
+
+from repro.analysis import format_table
+from repro.workloads import run_throughput_sweep
+
+RATES = [1_000, 4_000, 8_000, 12_000, 20_000]
+
+
+def test_throughput_capacity(benchmark, report):
+    def sweep_both():
+        return {
+            source: run_throughput_sweep(
+                RATES, time_source=source, duration_s=0.3, seed=2
+            )
+            for source in ("local", "cts")
+        }
+
+    results = benchmark.pedantic(sweep_both, rounds=1, iterations=1)
+
+    report.title(
+        "throughput",
+        "EXT-THROUGHPUT  Open-loop offered rate vs mean latency "
+        "(0.3 s per point)",
+    )
+    rows = []
+    for rate in RATES:
+        local = results["local"][rate]
+        cts = results["cts"][rate]
+        rows.append(
+            [
+                rate,
+                f"{local.mean_latency_us:.0f}",
+                f"{cts.mean_latency_us:.0f}",
+            ]
+        )
+    report.table(
+        format_table(
+            ["offered ops/s", "latency w/o CTS (us)", "latency w/ CTS (us)"],
+            rows,
+        )
+    )
+
+    base_local = results["local"][RATES[0]].mean_latency_us
+    base_cts = results["cts"][RATES[0]].mean_latency_us
+    top_local = results["local"][RATES[-1]].mean_latency_us
+    top_cts = results["cts"][RATES[-1]].mean_latency_us
+    report.line(
+        f"at {RATES[-1]} ops/s: local latency x{top_local / base_local:.1f} "
+        f"vs unloaded; CTS latency x{top_cts / base_cts:.0f}"
+    )
+    report.line("claim: the group clock caps throughput at the CCS round "
+                "rate; raw clocks are CPU-bound far beyond it.")
+
+    # Without CTS the service absorbs the top rate (mild latency growth).
+    assert top_local < 3 * base_local
+    # With CTS the top rate is far past saturation: queueing blow-up.
+    assert top_cts > 20 * base_cts
+    # But at moderate rates the CTS keeps up fine.
+    assert results["cts"][4_000].mean_latency_us < 3 * base_cts

@@ -1,0 +1,12 @@
+"""Pytest root conftest: make ``src/`` importable without installation.
+
+The offline environment lacks the ``wheel`` package that ``pip install
+-e .`` needs, so tests and benchmarks add the source tree to ``sys.path``
+directly.  (A ``repro-dev.pth`` in site-packages provides the same for
+interactive use.)
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

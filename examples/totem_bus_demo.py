@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Using the Totem substrate directly: a totally-ordered event bus.
+
+The consistent time service sits on top of Totem's reliable ordered
+multicast; this demo uses that substrate by itself, as the paper's
+Section 2 describes it: "the reliable ordered delivery protocol of the
+multicast group communication system ensures that the replicas receive
+the same messages in the same order."
+
+Four nodes publish interleaved events; every node observes the identical
+global sequence — then one node crashes mid-burst and the survivors
+still agree (virtual synchrony), reform the ring, and carry on.
+
+Run:  python examples/totem_bus_demo.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.sim import Cluster, ClusterConfig
+from repro.totem import TotemBus
+
+
+def main():
+    cluster = Cluster(ClusterConfig(num_nodes=4), seed=12)
+    bus = TotemBus(cluster)
+    bus.subscribe_membership(
+        "n0",
+        lambda change: print(f"  [n0 sees] {change}"),
+    )
+    bus.start()
+    bus.wait_operational()
+    print("ring formed:", bus.processors["n0"].members)
+
+    print("\nfour publishers, interleaved:")
+    for i in range(12):
+        bus.publish(f"n{i % 4}", f"event-{i}")
+    cluster.run(0.1)
+
+    orders = bus.orders()
+    reference = orders["n0"]
+    print(f"  n0's order: {reference}")
+    print("  all nodes identical:",
+          all(order == reference for order in orders.values()))
+
+    print("\nn2 crashes mid-burst:")
+    for i in range(12, 24):
+        bus.publish(f"n{i % 4}", f"event-{i}")
+    cluster.run(0.0004)  # messages in flight
+    cluster.node("n2").crash()
+    cluster.run(0.6)
+
+    survivors = ["n0", "n1", "n3"]
+    final = {nid: bus.orders()[nid] for nid in survivors}
+    reference = final["n0"]
+    print(f"  survivors delivered {len(reference)} events, all in the "
+          "same order:",
+          all(order == reference for order in final.values()))
+    print("  new ring:", bus.processors["n0"].members)
+
+    print("\npost-crash publishing still works:")
+    bus.publish("n1", "after-crash")
+    cluster.run(0.1)
+    print("  delivered at n3:",
+          "after-crash" in [p for _, _, p in bus.delivered["n3"]])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — a consistent time service for fault-tolerant distributed systems.
+
+A full reproduction of W. Zhao, L. E. Moser, P. M. Melliar-Smith,
+"Design and Implementation of a Consistent Time Service for
+Fault-Tolerant Distributed Systems" (DSN 2003), including every
+substrate the paper builds on: a deterministic discrete-event simulation
+of the testbed, the Totem single-ring group communication protocol, a
+replication infrastructure (active / passive / semi-active), an RPC
+layer, the consistent time service itself, and the baselines it is
+evaluated against.
+
+Quick start::
+
+    from repro import Testbed, Application
+
+    class ClockApp(Application):
+        def get_time(self, ctx):
+            value = yield ctx.gettimeofday()
+            return (value.seconds, value.microseconds)
+
+    bed = Testbed(seed=1)
+    bed.deploy("timesvc", ClockApp, ["n1", "n2", "n3"],
+               style="active", time_source="cts")
+    client = bed.client("n0")
+    bed.start()
+
+    def scenario():
+        result, latency_us = yield from client.timed_call("timesvc", "get_time")
+        return result.value
+
+    print(bed.run_process(scenario()))
+"""
+
+from .core import (
+    ConsistentTimeService,
+    MeanDelayCompensation,
+    NoCompensation,
+    ReferenceSteering,
+)
+from .errors import ReproError
+from .replication import (
+    ActiveReplica,
+    Application,
+    PassiveReplica,
+    SemiActiveReplica,
+)
+from .rpc import RpcClient, unwrap
+from .sim import ClockValue, Cluster, ClusterConfig
+from .testbed import Testbed
+from .totem import TotemConfig, TotemProcessor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveReplica",
+    "Application",
+    "ClockValue",
+    "Cluster",
+    "ClusterConfig",
+    "ConsistentTimeService",
+    "MeanDelayCompensation",
+    "NoCompensation",
+    "PassiveReplica",
+    "ReferenceSteering",
+    "ReproError",
+    "RpcClient",
+    "SemiActiveReplica",
+    "Testbed",
+    "TotemConfig",
+    "TotemProcessor",
+    "__version__",
+    "unwrap",
+]

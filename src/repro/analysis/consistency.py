@@ -1,0 +1,112 @@
+"""Client-history consistency checking.
+
+The guarantees the consistent time service makes are *externally
+observable*: any client-side history of completed clock reads must be
+explainable by a single monotonically increasing group clock, even when
+the reads interleave across clients, replicas, failovers and partitions.
+This module checks recorded histories the way an external auditor
+(Jepsen-style) would — from invocation/response intervals only.
+
+An *operation* is ``(start, end, value)`` in some common timebase (the
+client's view of real time).  The checks:
+
+* :func:`check_monotonic_register` — there exists a linearization of the
+  operations, consistent with their real-time intervals, in which values
+  never decrease.  For a strictly monotone source (each round hands out
+  a fresh value), a violation reduces to: an operation that *ended*
+  before another *started* returned a larger value.
+* :func:`check_no_duplicates` — a strictly monotone clock never hands
+  the same value to two different operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One completed read: the interval it occupied and its result."""
+
+    start: float
+    end: float
+    value: int
+    client: str = "?"
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"operation ends before it starts: {self}")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A pair of operations that no monotone register can explain."""
+
+    earlier: Operation
+    later: Operation
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.reason}: {self.earlier.client} read {self.earlier.value} "
+            f"(ended {self.earlier.end:.6f}) but {self.later.client} read "
+            f"{self.later.value} (started {self.later.start:.6f})"
+        )
+
+
+def check_monotonic_register(
+    operations: Sequence[Operation],
+) -> Optional[Violation]:
+    """Return the first real-time monotonicity violation, or None.
+
+    If operation A completed strictly before operation B began, then B's
+    value must be at least A's (strictly greater for a strictly monotone
+    clock; we check ``>=`` for the general register and leave strictness
+    to :func:`check_no_duplicates`).
+    """
+    by_end = sorted(operations, key=lambda op: op.end)
+    # Sweep: track the maximum value among operations that have ended
+    # before each operation's start.
+    by_start = sorted(operations, key=lambda op: op.start)
+    max_ended: Optional[Operation] = None
+    end_index = 0
+    for op in by_start:
+        while end_index < len(by_end) and by_end[end_index].end < op.start:
+            candidate = by_end[end_index]
+            if max_ended is None or candidate.value > max_ended.value:
+                max_ended = candidate
+            end_index += 1
+        if max_ended is not None and op.value < max_ended.value:
+            return Violation(max_ended, op, "clock rolled back")
+    return None
+
+
+def check_no_duplicates(
+    operations: Sequence[Operation],
+) -> Optional[Tuple[Operation, Operation]]:
+    """Return a pair of distinct operations that got the same value, or
+    None.  A strictly monotone clock (one fresh round per read) never
+    repeats a value."""
+    seen = {}
+    for op in operations:
+        if op.value in seen:
+            return (seen[op.value], op)
+        seen[op.value] = op
+    return None
+
+
+def audit_history(operations: Sequence[Operation]) -> List[str]:
+    """Run every check; return human-readable findings (empty == clean)."""
+    findings: List[str] = []
+    violation = check_monotonic_register(operations)
+    if violation is not None:
+        findings.append(str(violation))
+    duplicate = check_no_duplicates(operations)
+    if duplicate is not None:
+        first, second = duplicate
+        findings.append(
+            f"duplicate value {first.value} handed to {first.client} "
+            f"and {second.client}"
+        )
+    return findings

@@ -1,0 +1,14 @@
+"""Baseline time sources the paper compares against (S12-S14 in DESIGN.md)."""
+
+from .local_clock import LocalClockSource
+from .ntp import NtpDaemon, NtpDisciplinedSource, install_ntp_daemons
+from .primary_backup import ConveyedClockValue, PrimaryBackupClockSource
+
+__all__ = [
+    "ConveyedClockValue",
+    "LocalClockSource",
+    "NtpDaemon",
+    "NtpDisciplinedSource",
+    "PrimaryBackupClockSource",
+    "install_ntp_daemons",
+]

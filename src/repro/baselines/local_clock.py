@@ -1,0 +1,42 @@
+"""Baseline: raw local clocks — no time service at all.
+
+Each replica answers clock-related calls from its own physical hardware
+clock.  This is the status quo the paper's Figure 1 motivates against:
+replicas execute the same logical operation at different real times on
+differently-set clocks, so they return *different* values and replica
+consistency is lost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.interposition import resolve_call
+from ..replication.timesource import TimeSource
+from ..sim.clock import ClockValue
+from ..sim.kernel import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..replication.replica import Replica
+
+
+class LocalClockSource(TimeSource):
+    """Reads the hosting node's physical clock, nothing more."""
+
+    name = "local-clock"
+
+    def __init__(self, replica: "Replica"):
+        self.replica = replica
+        self.node = replica.node
+        self.sim = replica.sim
+        #: (sim_time, thread_id, call, ClockValue) values handed to the
+        #: app — the same shape the consistent time service records.
+        self.readings = []
+
+    def read(self, thread_id: str, call_name: str = "gettimeofday") -> Event:
+        call = resolve_call(call_name)
+        value = ClockValue(call.quantize(self.node.read_clock_us()))
+        self.readings.append((self.sim.now, thread_id, call.name, value))
+        event = Event(self.sim)
+        event.succeed(value)
+        return event

@@ -1,0 +1,310 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Runs the paper's experiments without pytest and prints the same reports
+the benchmark harness produces.  Intended for quick exploration::
+
+    python -m repro fig1                 # replica clock divergence
+    python -m repro fig5 --rounds 2000   # latency PDF with/without CTS
+    python -m repro ccs  --rounds 5000   # duplicate-suppression counts
+    python -m repro fig6 --rounds 1500   # skew & drift series
+    python -m repro failover --seeds 8   # roll-back comparison
+    python -m repro drift --rounds 800   # compensation ablation
+    python -m repro recovery             # new-clock integration
+    python -m repro all                  # everything, quick scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table, probability_density, summarize
+from .core import (
+    AlignedReferenceSteering,
+    MeanDelayCompensation,
+    NoCompensation,
+)
+from .sim import US_PER_SEC
+from .workloads import (
+    failover_comparison,
+    run_latency_workload,
+    run_recovery_workload,
+    run_skew_drift_workload,
+)
+
+
+def cmd_fig1(args) -> int:
+    from .replication import Application
+    from .testbed import Testbed
+    from .sim import ClusterConfig
+
+    class App(Application):
+        def get_time(self, ctx):
+            yield ctx.compute(30e-6)
+            value = yield ctx.gettimeofday()
+            return value.micros
+
+    rows = []
+    for label, source, use_ntp in (
+        ("local clocks", "local", False),
+        ("NTP-disciplined", "ntp", True),
+        ("consistent time service", "cts", False),
+    ):
+        bed = Testbed(seed=args.seed, cluster_config=ClusterConfig(
+            num_nodes=4, clock_epoch_spread_s=10.0))
+        if use_ntp:
+            bed.install_ntp(poll_interval_s=0.5, gain=0.7)
+        bed.deploy("svc", App, ["n1", "n2", "n3"], time_source=source)
+        client = bed.client("n0")
+        bed.start()
+        if use_ntp:
+            bed.run(20.0)
+
+        def scenario():
+            for _ in range(30):
+                result, _ = yield from client.timed_call("svc", "get_time",
+                                                         timeout=3.0)
+            return None
+
+        bed.run_process(scenario())
+        bed.run(0.1)
+        per_replica = [
+            [v.micros for _, _, _, v in r.time_source.readings][-30:]
+            for r in bed.replicas("svc").values()
+        ]
+        divergences = [max(vs) - min(vs) for vs in zip(*per_replica)]
+        s = summarize(divergences)
+        rows.append([label, f"{s.mean:.1f}", f"{s.maximum:.0f}"])
+    print(format_table(["clock source", "mean divergence us", "max us"],
+                       rows, title="FIG1 replica clock divergence"))
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    without = run_latency_workload(
+        time_source="local", invocations=args.rounds, seed=args.seed)
+    with_cts = run_latency_workload(
+        time_source="cts", invocations=args.rounds, seed=args.seed)
+    rows = []
+    for name, run in (("without CTS", without), ("with CTS", with_cts)):
+        s = summarize(run.latencies_us)
+        rows.append([name, f"{s.mean:.1f}", f"{s.p50:.0f}", f"{s.p90:.0f}"])
+    print(format_table(["configuration", "mean us", "p50", "p90"], rows,
+                       title=f"FIG5 end-to-end latency ({args.rounds} calls)"))
+    overhead = summarize(with_cts.latencies_us).mean - summarize(
+        without.latencies_us).mean
+    print(f"overhead: {overhead:+.1f} us  (paper: ≈ +300 us)")
+    return 0
+
+
+def cmd_ccs(args) -> int:
+    run = run_latency_workload(
+        time_source="cts", invocations=args.rounds, seed=args.seed)
+    rows = [[node, count, f"{count / max(1, run.rounds):.2%}"]
+            for node, count in sorted(run.ccs_transmitted.items())]
+    rows.append(["total", sum(run.ccs_transmitted.values()),
+                 f"rounds={run.rounds}"])
+    print(format_table(["node", "CCS transmitted", "share"], rows,
+                       title="TAB-CCS duplicate suppression "
+                             "(paper: 1 / 9977 / 22)"))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    result = run_skew_drift_workload(rounds=args.rounds, seed=args.seed)
+    print(f"FIG6 skew & drift over {args.rounds} rounds")
+    print(f"  synchronizer totals: {result.winner_counts()}")
+    first_winner = result.winners[0]
+    offsets = result.series[first_winner].offsets()
+    print(f"  offset of first-round winner {first_winner}: "
+          f"{offsets[0]} -> {offsets[-1]} us")
+    print(f"  group clock drift vs real time: "
+          f"{result.group_drift_ppm() / 1e4:+.2f}%")
+    print(f"  CCS transmitted: {result.ccs_transmitted} "
+          f"(total {result.total_transmitted} == rounds)")
+    return 0
+
+
+def cmd_failover(args) -> int:
+    summary = failover_comparison(range(args.seed, args.seed + args.seeds))
+    rows = []
+    for source in ("primary-backup", "cts"):
+        data = summary[source]
+        rows.append([source, data["rollbacks"], data["fast_forwards"],
+                     f"{data['worst_step_us'] / 1e6:+.3f}"])
+    print(format_table(
+        ["time source", "roll-backs", "fast-forwards", "worst step (s)"],
+        rows, title=f"EXT-FAILOVER over {args.seeds} seeds"))
+    return 0
+
+
+def cmd_drift(args) -> int:
+    plain = run_skew_drift_workload(rounds=args.rounds, seed=args.seed,
+                                    drift=NoCompensation())
+    series = next(iter(plain.series.values()))
+    real = (series.times_s[-1] - series.times_s[0]) * US_PER_SEC
+    group = series.history[-1][0] - series.history[0][0]
+    mean_delay = max(1, int((real - group) / args.rounds))
+    compensated = run_skew_drift_workload(
+        rounds=args.rounds, seed=args.seed,
+        drift=MeanDelayCompensation(mean_delay))
+    steered = run_skew_drift_workload(
+        rounds=args.rounds, seed=args.seed,
+        drift_factory=lambda bed: AlignedReferenceSteering(
+            lambda: int(bed.sim.now * US_PER_SEC), proportion=0.2))
+    rows = [
+        ["none", f"{plain.group_drift_ppm() / 1e4:+.2f}%"],
+        [f"mean-delay ({mean_delay} us)",
+         f"{compensated.group_drift_ppm() / 1e4:+.2f}%"],
+        ["reference steering", f"{steered.group_drift_ppm() / 1e4:+.2f}%"],
+    ]
+    print(format_table(["strategy", "drift vs real time"], rows,
+                       title=f"EXT-DRIFT ablation ({args.rounds} rounds)"))
+    return 0
+
+
+def cmd_recovery(args) -> int:
+    result = run_recovery_workload(seed=args.seed)
+    print("EXT-RECOVERY new-clock integration")
+    print(f"  monotone across join:   {result.monotone}")
+    print(f"  joiner consistent:      {result.joiner_consistent}")
+    print(f"  offset adoptions:       {result.recovery_adoptions}")
+    print(f"  integration time:       {result.integration_time_s * 1000:.1f} ms")
+    return 0
+
+
+def cmd_partition(args) -> int:
+    from .replication import Application
+    from .sim import ClusterConfig
+    from .testbed import Testbed
+
+    class App(Application):
+        def __init__(self):
+            self.count = 0
+
+        def tick(self, ctx):
+            value = yield ctx.gettimeofday()
+            self.count += 1
+            return (self.count, value.micros)
+
+        def get_state(self):
+            return self.count
+
+        def set_state(self, state):
+            self.count = state
+
+    bed = Testbed(seed=args.seed, cluster_config=ClusterConfig(num_nodes=4))
+    bed.deploy("svc", App, ["n1", "n2", "n3"], time_source="cts")
+    client = bed.client("n0")
+    bed.start()
+
+    def calls(n):
+        def scenario():
+            values = []
+            for _ in range(n):
+                result, _ = yield from client.timed_call("svc", "tick",
+                                                         timeout=3.0)
+                values.append(result.value[1])
+            return values
+        return bed.run_process(scenario())
+
+    print("EXT-PARTITION primary-component cycle")
+    before = calls(3)
+    bed.cluster.network.partition({"n0", "n1", "n2"}, {"n3"})
+    bed.run(0.4)
+    minority = bed.replicas("svc")["n3"]
+    print(f"  n3 partitioned away; suspended: {minority.suspended}")
+    during = calls(3)
+    bed.cluster.network.heal()
+    bed.run(1.5)
+    after = calls(3)
+    sequence = before + during + after
+    monotone = all(b > a for a, b in zip(sequence, sequence[1:]))
+    print(f"  clock monotone through the cycle: {monotone}")
+    print(f"  n3 rejoined with state {minority.app.count} "
+          f"(majority {bed.replicas('svc')['n1'].app.count})")
+    return 0
+
+
+def cmd_scale(args) -> int:
+    from .replication import Application
+    from .sim import ClusterConfig
+    from .testbed import Testbed
+
+    class App(Application):
+        def get_time(self, ctx):
+            yield ctx.compute(40e-6)
+            value = yield ctx.gettimeofday()
+            return value.micros
+
+    rows = []
+    for replicas in (2, 3, 4, 5):
+        bed = Testbed(seed=args.seed, cluster_config=ClusterConfig(
+            num_nodes=replicas + 1))
+        nodes = [f"n{i}" for i in range(1, replicas + 1)]
+        bed.deploy("svc", App, nodes, time_source="cts")
+        client = bed.client("n0")
+        bed.start(settle=0.3)
+
+        def scenario():
+            for _ in range(60):
+                result, _ = yield from client.timed_call("svc", "get_time",
+                                                         timeout=5.0)
+            return None
+
+        bed.run_process(scenario())
+        latency = summarize(client.stats.latencies_us)
+        rows.append([replicas, f"{latency.p50:.0f}", f"{latency.p90:.0f}"])
+    print(format_table(["replicas", "p50 latency (us)", "p90 (us)"], rows,
+                       title="EXT-SCALE group-size sweep"))
+    return 0
+
+
+def cmd_all(args) -> int:
+    status = 0
+    for command in (cmd_fig1, cmd_fig5, cmd_ccs, cmd_fig6, cmd_failover,
+                    cmd_drift, cmd_recovery, cmd_partition, cmd_scale):
+        print()
+        status |= command(args)
+    return status
+
+
+COMMANDS = {
+    "fig1": cmd_fig1,
+    "fig5": cmd_fig5,
+    "ccs": cmd_ccs,
+    "fig6": cmd_fig6,
+    "failover": cmd_failover,
+    "drift": cmd_drift,
+    "recovery": cmd_recovery,
+    "partition": cmd_partition,
+    "scale": cmd_scale,
+    "all": cmd_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments (DSN 2003 consistent "
+                    "time service reproduction).",
+    )
+    parser.add_argument("experiment", choices=sorted(COMMANDS),
+                        help="which experiment to run")
+    parser.add_argument("--rounds", type=int, default=500,
+                        help="workload size (invocations / rounds)")
+    parser.add_argument("--seeds", type=int, default=6,
+                        help="seed-sweep width (failover)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root RNG seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.experiment](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The consistent time service — the paper's contribution (S10-S11, S16).
+
+Public surface: :class:`ConsistentTimeService` (plug into a replica as
+its time source), the drift-compensation strategies of Section 3.3, the
+clock-call interposition table, and the Section-5 multigroup causal
+timestamp helpers.
+"""
+
+from .ccs_handler import CCSHandler, PendingRound
+from .drift import (
+    AlignedReferenceSteering,
+    DriftCompensation,
+    MeanDelayCompensation,
+    NoCompensation,
+    ReferenceSteering,
+)
+from .group_clock import GroupClockState
+from .interposition import CLOCK_CALLS, CLOCK_CALLS_BY_ID, ClockCall, resolve_call
+from .messages import CCSMessage
+from .multigroup import GroupClockStamp, observe_incoming, stamp_outgoing
+from .recovery import TimeTransferState
+from .time_service import (
+    MODE_ACTIVE,
+    MODE_PRIMARY,
+    ConsistentTimeService,
+    CTSStats,
+)
+
+__all__ = [
+    "AlignedReferenceSteering",
+    "CCSHandler",
+    "CCSMessage",
+    "CLOCK_CALLS",
+    "CLOCK_CALLS_BY_ID",
+    "CTSStats",
+    "ClockCall",
+    "ConsistentTimeService",
+    "DriftCompensation",
+    "GroupClockStamp",
+    "GroupClockState",
+    "MODE_ACTIVE",
+    "MODE_PRIMARY",
+    "MeanDelayCompensation",
+    "NoCompensation",
+    "PendingRound",
+    "ReferenceSteering",
+    "TimeTransferState",
+    "observe_incoming",
+    "resolve_call",
+    "stamp_outgoing",
+]

@@ -1,0 +1,127 @@
+"""Per-thread Consistent Clock Synchronization handler objects.
+
+"There is one such handler object for each thread" (paper Section 3.1).
+A :class:`CCSHandler` owns the thread's CCS round counter and input
+buffer; the thread blocks in ``get_grp_clock_time()`` until the first
+matching CCS message is delivered — here, the blocked operation parks on
+an event the handler wakes when a message lands in the empty buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..errors import TimeServiceError
+from ..sim.kernel import Event, Simulator
+from .messages import CCSMessage
+
+
+@dataclass
+class PendingRound:
+    """The round a thread is currently blocked in."""
+
+    round_number: int
+    proposal_us: int
+    call_type_id: int
+    physical_us: int
+    #: True once our own CCS message for this round was handed to Totem.
+    sent: bool
+    result: Event
+    started_at: float
+
+
+class CCSHandler:
+    """my_thread_id, my_round_number, my_input_buffer and friends."""
+
+    def __init__(self, sim: Simulator, thread_id: str, start_round: int = 0):
+        self.sim = sim
+        self.my_thread_id = thread_id
+        #: Incremented once per clock-related operation (Figure 2 line 9).
+        self.my_round_number = start_round
+        #: Received CCS messages not yet consumed by an operation.
+        self.my_input_buffer: Deque[CCSMessage] = deque()
+        #: The operation currently blocked waiting for a message, if any.
+        self.pending: Optional[PendingRound] = None
+        self._waiter: Optional[Event] = None
+        self.rounds_completed = 0
+
+    # ------------------------------------------------------------------
+
+    def next_round(self) -> int:
+        """Start a new round (only one can be in flight per thread)."""
+        if self.pending is not None:
+            raise TimeServiceError(
+                f"thread {self.my_thread_id!r} started a clock operation "
+                "while a previous one is still blocked"
+            )
+        self.my_round_number += 1
+        return self.my_round_number
+
+    def recv_CCS_msg(self, msg: CCSMessage) -> None:
+        """Append a (non-duplicate) CCS message; wake a blocked thread if
+        the buffer was empty (Figure 3 lines 6-9)."""
+        was_empty = not self.my_input_buffer
+        self.my_input_buffer.append(msg)
+        if was_empty and self._waiter is not None and not self._waiter.triggered:
+            self._waiter.succeed()
+
+    def wait_for_message(self) -> Event:
+        """Event that fires when the (currently empty) buffer fills."""
+        if self._waiter is not None and not self._waiter.triggered:
+            raise TimeServiceError(
+                f"thread {self.my_thread_id!r} already has a blocked waiter"
+            )
+        self._waiter = Event(self.sim)
+        return self._waiter
+
+    def pop_message(self) -> CCSMessage:
+        """Select (and remove) the first message in the input buffer."""
+        if not self.my_input_buffer:
+            raise TimeServiceError(
+                f"thread {self.my_thread_id!r} popped from an empty buffer"
+            )
+        return self.my_input_buffer.popleft()
+
+    def abort_pending(self, reason: str) -> bool:
+        """Fail the blocked operation (if any) and orphan its waiter.
+
+        Returns True if an operation was aborted.  The orphaned waiter
+        event is never triggered; subsequent messages land in the buffer
+        without waking anyone until the next operation installs a fresh
+        waiter.
+        """
+        pending, self.pending = self.pending, None
+        self._waiter = None
+        if pending is None:
+            return False
+        if not pending.result.triggered:
+            pending.result.fail(
+                TimeServiceError(
+                    f"clock operation round {pending.round_number} on "
+                    f"thread {self.my_thread_id!r} aborted: {reason}"
+                )
+            )
+            # A deliberate abort, not a bug: don't let the scheduler
+            # re-raise if the waiting process died before observing it.
+            pending.result._fail_silently = True
+        return True
+
+    def drop_through(self, round_number: int) -> int:
+        """Discard buffered messages for rounds <= ``round_number``
+        (applied when a checkpoint fast-forwards this thread past them).
+
+        Returns how many were dropped.
+        """
+        before = len(self.my_input_buffer)
+        self.my_input_buffer = deque(
+            m for m in self.my_input_buffer if m.round_number > round_number
+        )
+        return before - len(self.my_input_buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CCSHandler {self.my_thread_id} round={self.my_round_number} "
+            f"buffered={len(self.my_input_buffer)}>"
+        )

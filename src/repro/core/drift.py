@@ -1,0 +1,126 @@
+"""Drift-compensation strategies for the group clock (paper Section 3.3).
+
+The group clock drifts *slow* relative to real time: each round adopts a
+value computed from a physical reading taken before communication and
+processing delays, so the offset trend is downward (Figure 6(b)) and the
+group clock falls behind real time (Figure 6(c)).  The paper sketches
+two counter-measures:
+
+* :class:`MeanDelayCompensation` — "increase the value of
+  my_clock_offset by a mean delay each time that value is calculated".
+  Cheap and approximately cancels the average per-round loss.
+* :class:`ReferenceSteering` — "each time that a physical hardware clock
+  is read and a proposed consistent clock is calculated at the start of
+  a round, a small proportion of the difference between the 'real time'
+  and the proposed consistent clock is added" — an NTP/GPS-anchored
+  correction that removes long-term drift entirely.
+
+Strategies only ever adjust *inputs to proposals* (never delivered group
+values), so every replica stays consistent: the winner's adjusted
+proposal is what everyone adopts.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+
+class DriftCompensation(abc.ABC):
+    """Strategy hooks called by the consistent time service."""
+
+    name = "abstract"
+
+    def adjust_offset(self, offset_us: int) -> int:
+        """Hook applied when my_clock_offset is recomputed (line 7)."""
+        return offset_us
+
+    def adjust_proposal(self, proposal_us: int) -> int:
+        """Hook applied to the local clock value proposed for the group
+        clock (line 4)."""
+        return proposal_us
+
+
+class NoCompensation(DriftCompensation):
+    """The algorithm exactly as in Figure 2: drifts slow over time."""
+
+    name = "none"
+
+
+class MeanDelayCompensation(DriftCompensation):
+    """Add a fixed mean round delay to the offset each recomputation.
+
+    ``mean_delay_us`` should approximate the average gap between reading
+    the physical clock and the round's CCS message being delivered (about
+    one token rotation on the paper's testbed).
+    """
+
+    name = "mean-delay"
+
+    def __init__(self, mean_delay_us: int):
+        if mean_delay_us < 0:
+            raise ValueError("mean_delay_us must be non-negative")
+        self.mean_delay_us = int(mean_delay_us)
+
+    def adjust_offset(self, offset_us: int) -> int:
+        return offset_us + self.mean_delay_us
+
+
+class ReferenceSteering(DriftCompensation):
+    """Steer proposals toward an external reference (NTP/GPS).
+
+    ``reference_us`` returns the reference time in microseconds (possibly
+    with transient skew but no long-term drift); ``proportion`` is the
+    fraction of the measured difference folded into each proposal.
+
+    The reference must share the group clock's epoch (wall-clock time in
+    a real deployment).  If your reference counts from a different origin
+    — e.g. the simulation's time-zero — use
+    :class:`AlignedReferenceSteering`, which calibrates the constant
+    epoch difference away at the first round and then corrects rate only.
+    """
+
+    name = "reference-steering"
+
+    def __init__(self, reference_us: Callable[[], int], proportion: float = 0.1):
+        if not 0.0 < proportion <= 1.0:
+            raise ValueError("proportion must be in (0, 1]")
+        self.reference_us = reference_us
+        self.proportion = proportion
+
+    def adjust_proposal(self, proposal_us: int) -> int:
+        difference = self.reference_us() - proposal_us
+        return proposal_us + int(self.proportion * difference)
+
+
+class AlignedReferenceSteering(ReferenceSteering):
+    """Reference steering against a drift-free source with an arbitrary
+    epoch.
+
+    On the first proposal the constant offset between the reference and
+    the group clock is measured and subsequently treated as the
+    reference's (permanent) skew; only the *drift* relative to the
+    reference is corrected thereafter — matching the paper's framing of
+    a source "that might have a transient skew from real time but that
+    has no drift".
+
+    Deterministic across replicas in primary-only modes by construction;
+    in active mode each replica aligns at its own first proposal, so
+    per-replica skew estimates differ by at most the initial round's
+    uncertainty — only the winner's (consistent) proposal is ever adopted.
+    """
+
+    name = "aligned-reference-steering"
+
+    def __init__(self, reference_us: Callable[[], int], proportion: float = 0.1):
+        super().__init__(reference_us, proportion)
+        self._epoch_skew_us: int = 0
+        self._aligned = False
+
+    def adjust_proposal(self, proposal_us: int) -> int:
+        raw = self.reference_us()
+        if not self._aligned:
+            self._epoch_skew_us = proposal_us - raw
+            self._aligned = True
+        difference = (raw + self._epoch_skew_us) - proposal_us
+        return proposal_us + int(self.proportion * difference)

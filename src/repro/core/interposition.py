@@ -1,0 +1,66 @@
+"""Clock-call interposition: the library-interpositioning stand-in.
+
+The paper's implementation captures clock-related system calls with
+library interpositioning and assigns each call a unique type identifier
+so the consistent clock synchronization algorithm can recognise and
+distinguish them (Section 4.1: "most operating systems offer more than
+one system call to access the physical hardware clock, such as
+gettimeofday(), time() and ftime()"; "each CCS message includes an
+additional field for this purpose").
+
+Here the equivalent is a dispatch table: application code calls
+``ctx.gettimeofday()`` / ``ctx.time()`` / ``ctx.ftime()``, the context
+routes to the replica's time source with the call *name*, and this
+module supplies the type id and result granularity for each call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import TimeServiceError
+from ..sim.clock import ClockValue
+
+
+@dataclass(frozen=True)
+class ClockCall:
+    """One interposable clock-related system call."""
+
+    name: str
+    type_id: int
+    granularity_us: int
+
+    def quantize(self, micros: int) -> int:
+        """Truncate a reading to this call's granularity, as the real
+        system call would (``time()`` returns whole seconds, ``ftime()``
+        milliseconds, ``gettimeofday()`` microseconds)."""
+        return micros - (micros % self.granularity_us)
+
+    def quantize_value(self, value: ClockValue) -> ClockValue:
+        return ClockValue(self.quantize(value.micros))
+
+
+#: The interposed system calls, keyed by name.
+CLOCK_CALLS: Dict[str, ClockCall] = {
+    "gettimeofday": ClockCall("gettimeofday", 1, 1),
+    "ftime": ClockCall("ftime", 2, 1_000),
+    "time": ClockCall("time", 3, 1_000_000),
+}
+
+#: Reverse lookup by wire type id (CCS messages carry the id, not the name).
+CLOCK_CALLS_BY_ID: Dict[int, ClockCall] = {
+    call.type_id: call for call in CLOCK_CALLS.values()
+}
+
+
+def resolve_call(name: str) -> ClockCall:
+    """Look up an interposed call by name; unknown names are a
+    programming error in the application."""
+    try:
+        return CLOCK_CALLS[name]
+    except KeyError:
+        raise TimeServiceError(
+            f"unknown clock-related call {name!r}; interposable calls are "
+            f"{sorted(CLOCK_CALLS)}"
+        ) from None

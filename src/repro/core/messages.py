@@ -1,0 +1,42 @@
+"""CCS (Consistent Clock Synchronization) message payloads.
+
+A CCS message travels in an :class:`~repro.replication.envelope.Envelope`
+whose header carries the common fault-tolerant protocol fields; per the
+paper (Section 3.1) the envelope's ``msg_seq_num`` holds the CCS round
+number, and the payload holds the sending thread identifier and the
+local clock value being proposed for the group clock, plus the clock
+call type identifier (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CCSMessage:
+    """Payload of one Consistent Clock Synchronization message."""
+
+    #: Identifier of the sending logical thread; CCS messages are matched
+    #: to the handler of the thread performing the same logical operation.
+    thread_id: str
+    #: The CCS round number (duplicated from the envelope header for
+    #: self-containedness).
+    round_number: int
+    #: The local logical clock value proposed for the group clock:
+    #: physical hardware clock + the sender's clock offset, microseconds.
+    proposed_micros: int
+    #: Which interposed call started the round (gettimeofday/time/ftime).
+    call_type_id: int
+    #: True for the special round run during state transfer (Section 3.2).
+    special: bool = False
+
+    def wire_size(self) -> int:
+        return 40
+
+    def __str__(self) -> str:
+        return (
+            f"CCS[{self.thread_id} r{self.round_number} "
+            f"propose={self.proposed_micros}us call={self.call_type_id}"
+            f"{' special' if self.special else ''}]"
+        )

@@ -1,0 +1,37 @@
+"""Time-service state carried by checkpoints and state transfer.
+
+Only *replica-independent* state travels: per-thread round counters,
+unconsumed winning CCS messages, the last decided group clock value and
+the cross-group causal floor.  Clock offsets never travel — each replica
+derives its own offset from its own physical clock, which is the entire
+point of the special CCS round during state transfer (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .messages import CCSMessage
+
+
+@dataclass
+class TimeTransferState:
+    """Snapshot of a replica's time-service protocol position."""
+
+    #: thread_id -> round number consumed up to (the consumption point).
+    rounds: Dict[str, int] = field(default_factory=dict)
+    #: thread_id -> accepted-but-unconsumed winning CCS messages, in
+    #: round order (a passive backup holds many of these).
+    buffered: Dict[str, List[CCSMessage]] = field(default_factory=dict)
+    #: thread_id -> highest round number accepted (duplicate-detection
+    #: watermark; >= the consumption point).
+    accepted: Dict[str, int] = field(default_factory=dict)
+    #: Last decided group clock value, microseconds.
+    last_group_us: Optional[int] = None
+    #: Cross-group causal floor (Section 5 extension), microseconds.
+    causal_floor_us: Optional[int] = None
+
+    def wire_size(self) -> int:
+        buffered = sum(len(msgs) for msgs in self.buffered.values())
+        return 48 + 16 * len(self.rounds) + 40 * buffered

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class ProcessKilled(SimulationError):
+    """Raised inside a simulated process that has been forcibly killed.
+
+    Processes are killed when their hosting node crashes (fail-stop model).
+    Application code generally should not catch this.
+    """
+
+
+class Interrupt(SimulationError):
+    """Raised inside a simulated process that was interrupted.
+
+    Carries the interrupting ``cause`` so the process can decide how to
+    react (e.g. a timer firing while blocked on a message queue).
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class NodeDown(SimulationError):
+    """An operation was attempted on a crashed node (fail-stop model)."""
+
+
+class NetworkError(SimulationError):
+    """A network-level operation failed (e.g. sending from a detached
+    interface)."""
+
+
+class TotemError(ReproError):
+    """The Totem single-ring protocol detected a violation of its own
+    invariants (sequencing, ring state, token handling)."""
+
+
+class MembershipError(TotemError):
+    """The Totem membership protocol reached an inconsistent state."""
+
+
+class ReplicationError(ReproError):
+    """The replication infrastructure detected an inconsistency."""
+
+
+class NotPrimaryError(ReplicationError):
+    """A primary-only operation was invoked on a backup replica."""
+
+
+class StateTransferError(ReplicationError):
+    """State transfer to a joining/recovering replica failed."""
+
+
+class RpcError(ReproError):
+    """A remote method invocation failed."""
+
+
+class RpcTimeout(RpcError):
+    """A remote method invocation did not complete within its deadline."""
+
+
+class TimeServiceError(ReproError):
+    """The consistent time service detected a protocol violation."""
+
+
+class ClockRollbackError(TimeServiceError):
+    """A clock source returned a value earlier than a previous reading.
+
+    The consistent time service guarantees this never happens for the
+    group clock; baselines may raise or record it depending on policy.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration supplied to a component."""

@@ -1,0 +1,25 @@
+"""Active replication: every replica processes every request.
+
+All replicas are equal (no primary/backup); all transmit and process
+requests and replies concurrently (paper Section 2).  Clients take the
+first reply and discard the duplicates.  Correctness requires the
+replicas to be deterministic — which is exactly what the consistent time
+service provides for clock-related operations.
+"""
+
+from __future__ import annotations
+
+from .envelope import Envelope
+from .replica import Replica
+
+
+class ActiveReplica(Replica):
+    """A member of an actively replicated group."""
+
+    style = "active"
+
+    def _handle_request(self, envelope: Envelope, index: int) -> None:
+        self.request_queue.put((envelope, index))
+
+    def _should_reply(self) -> bool:
+        return True

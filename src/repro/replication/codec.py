@@ -1,0 +1,212 @@
+"""Binary wire codec for the fault-tolerant protocol messages.
+
+The simulation passes Python objects around and uses per-type
+``wire_size()`` *estimates* for the latency model.  For adopters who
+want a real wire format — and to sanity-check those estimates — this
+module provides a compact, self-describing binary encoding for the
+protocol-level messages:
+
+* :class:`~repro.replication.envelope.Envelope` (with header),
+* :class:`~repro.core.messages.CCSMessage`,
+* :class:`~repro.rpc.messages.Invocation` / ``Result`` (JSON-able args),
+* :class:`~repro.core.multigroup.GroupClockStamp`.
+
+Layout: a one-byte type tag, then struct-packed fixed fields, then
+length-prefixed UTF-8 strings / JSON blobs.  Integers are little-endian.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable, Dict, Tuple
+
+from ..core.messages import CCSMessage
+from ..core.multigroup import GroupClockStamp
+from ..errors import ReproError
+from ..rpc.messages import Invocation, Result
+from .envelope import Envelope, MessageHeader, MsgType
+
+
+class CodecError(ReproError):
+    """Encoding or decoding failed."""
+
+
+# -- primitives ----------------------------------------------------------
+
+def _pack_str(value: str) -> bytes:
+    data = value.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise CodecError(f"string too long ({len(data)} bytes)")
+    return struct.pack("<H", len(data)) + data
+
+
+def _unpack_str(buffer: bytes, offset: int) -> Tuple[str, int]:
+    (length,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    value = buffer[offset:offset + length].decode("utf-8")
+    return value, offset + length
+
+
+def _pack_json(value: Any) -> bytes:
+    try:
+        data = json.dumps(value, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"body not JSON-encodable: {exc}") from exc
+    if len(data) > 0xFFFFFFFF:
+        raise CodecError("JSON body too large")
+    return struct.pack("<I", len(data)) + data
+
+
+def _unpack_json(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    (length,) = struct.unpack_from("<I", buffer, offset)
+    offset += 4
+    value = json.loads(buffer[offset:offset + length].decode("utf-8"))
+    return value, offset + length
+
+
+# -- body codecs -----------------------------------------------------------
+
+_BODY_TAGS: Dict[type, int] = {}
+_BODY_ENCODERS: Dict[int, Tuple[Callable, Callable]] = {}
+
+
+def _register(tag: int, cls: type, encode: Callable, decode: Callable) -> None:
+    _BODY_TAGS[cls] = tag
+    _BODY_ENCODERS[tag] = (encode, decode)
+
+
+def _encode_none(_body: None) -> bytes:
+    return b""
+
+
+def _decode_none(_buffer: bytes, offset: int) -> Tuple[None, int]:
+    return None, offset
+
+
+def _encode_ccs(body: CCSMessage) -> bytes:
+    return (
+        _pack_str(body.thread_id)
+        + struct.pack(
+            "<qqB?",
+            body.round_number,
+            body.proposed_micros,
+            body.call_type_id,
+            body.special,
+        )
+    )
+
+
+def _decode_ccs(buffer: bytes, offset: int) -> Tuple[CCSMessage, int]:
+    thread_id, offset = _unpack_str(buffer, offset)
+    round_number, micros, call_type_id, special = struct.unpack_from(
+        "<qqB?", buffer, offset
+    )
+    offset += struct.calcsize("<qqB?")
+    return (
+        CCSMessage(thread_id, round_number, micros, call_type_id, special),
+        offset,
+    )
+
+
+def _encode_invocation(body: Invocation) -> bytes:
+    return _pack_str(body.method) + _pack_json(list(body.args))
+
+
+def _decode_invocation(buffer: bytes, offset: int) -> Tuple[Invocation, int]:
+    method, offset = _unpack_str(buffer, offset)
+    args, offset = _unpack_json(buffer, offset)
+    return Invocation(method, tuple(args)), offset
+
+
+def _encode_result(body: Result) -> bytes:
+    return _pack_json({"value": body.value, "error": body.error})
+
+
+def _decode_result(buffer: bytes, offset: int) -> Tuple[Result, int]:
+    data, offset = _unpack_json(buffer, offset)
+    return Result(value=data["value"], error=data["error"]), offset
+
+
+def _encode_stamp(body: GroupClockStamp) -> bytes:
+    return _pack_str(body.group) + struct.pack("<q", body.micros)
+
+
+def _decode_stamp(buffer: bytes, offset: int) -> Tuple[GroupClockStamp, int]:
+    group, offset = _unpack_str(buffer, offset)
+    (micros,) = struct.unpack_from("<q", buffer, offset)
+    return GroupClockStamp(group, micros), offset + 8
+
+
+def _encode_json_body(body: Any) -> bytes:
+    return _pack_json(body)
+
+
+def _decode_json_body(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    return _unpack_json(buffer, offset)
+
+
+_register(0, type(None), _encode_none, _decode_none)
+_register(1, CCSMessage, _encode_ccs, _decode_ccs)
+_register(2, Invocation, _encode_invocation, _decode_invocation)
+_register(3, Result, _encode_result, _decode_result)
+_register(4, GroupClockStamp, _encode_stamp, _decode_stamp)
+#: tag 5: any JSON-able body (lists, dicts, strings, numbers).
+_JSON_TAG = 5
+
+_MSG_TYPES = list(MsgType)
+
+
+# -- envelope codec ------------------------------------------------------------
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    """Serialize an envelope (header + sender + tagged body)."""
+    header = envelope.header
+    body = envelope.body
+    tag = _BODY_TAGS.get(type(body))
+    if tag is not None:
+        payload = _BODY_ENCODERS[tag][0](body)
+    else:
+        tag = _JSON_TAG
+        payload = _pack_json(body)
+    return (
+        struct.pack("<BqqB", _MSG_TYPES.index(header.msg_type),
+                    header.conn_id, header.msg_seq_num, tag)
+        + _pack_str(header.src_grp)
+        + _pack_str(header.dst_grp)
+        + _pack_str(envelope.sender)
+        + payload
+    )
+
+
+def decode_envelope(buffer: bytes) -> Envelope:
+    """Deserialize :func:`encode_envelope` output."""
+    try:
+        type_index, conn_id, msg_seq_num, tag = struct.unpack_from(
+            "<BqqB", buffer, 0
+        )
+        offset = struct.calcsize("<BqqB")
+        src_grp, offset = _unpack_str(buffer, offset)
+        dst_grp, offset = _unpack_str(buffer, offset)
+        sender, offset = _unpack_str(buffer, offset)
+        if tag == _JSON_TAG:
+            body, offset = _unpack_json(buffer, offset)
+        else:
+            try:
+                decoder = _BODY_ENCODERS[tag][1]
+            except KeyError:
+                raise CodecError(f"unknown body tag {tag}") from None
+            body, offset = decoder(buffer, offset)
+        header = MessageHeader(
+            _MSG_TYPES[type_index], src_grp, dst_grp, conn_id, msg_seq_num
+        )
+        return Envelope(header, sender, body)
+    except (struct.error, IndexError, UnicodeDecodeError,
+            json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed envelope: {exc}") from exc
+
+
+def wire_length(envelope: Envelope) -> int:
+    """The exact encoded size — for checking the simulation's
+    ``wire_size()`` estimates."""
+    return len(encode_envelope(envelope))

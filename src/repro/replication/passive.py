@@ -1,0 +1,184 @@
+"""Passive replication: primary/backup with checkpointing and replay.
+
+Only the primary (the oldest member of the group view) processes
+requests and sends replies.  Backups log delivered requests and apply
+the primary's periodic checkpoints.  When the primary fails, the oldest
+surviving backup promotes itself — deterministically, because every
+member sees the identical view sequence — restores from the last
+checkpoint it applied, and replays its logged requests.
+
+Replayed clock-related operations consume the CCS messages the old
+primary's rounds produced (they were delivered to the backups too and
+sit buffered in the time service), so the new primary reproduces the
+exact clock values the old primary saw — this is how the consistent time
+service removes the roll-back / fast-forward hazard of plain
+primary/backup clock handling (paper Sections 1 and 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from .. import trace
+from .envelope import Envelope, MsgType, make_envelope
+from .group import GroupRuntime, GroupView
+from .replica import Application, Replica
+from .state_transfer import Checkpoint
+from .timesource import TimeSource
+
+
+class PassiveReplica(Replica):
+    """A member of a passively replicated (primary/backup) group."""
+
+    style = "passive"
+
+    def __init__(
+        self,
+        runtime: GroupRuntime,
+        group: str,
+        app: Application,
+        time_source_factory: Callable[[Replica], TimeSource],
+        *,
+        checkpoint_interval: int = 10,
+        join_existing: bool = False,
+    ):
+        super().__init__(
+            runtime, group, app, time_source_factory, join_existing=join_existing
+        )
+        self.checkpoint_interval = checkpoint_interval
+        #: Backup-side log of delivered-but-unprocessed requests.
+        self.request_log: List[Tuple[int, Envelope]] = []
+        #: Highest request index incorporated into our state (processed
+        #: if primary; covered by an applied checkpoint if backup).
+        self.processed_index = 0
+        self._was_primary = False
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def _handle_request(self, envelope: Envelope, index: int) -> None:
+        if self.is_primary:
+            self.request_queue.put((envelope, index))
+        else:
+            self.request_log.append((index, envelope))
+            self.stats.requests_logged += 1
+
+    def _should_reply(self) -> bool:
+        # Failovers mid-request: the reply decision uses the *current*
+        # primaryship, so a freshly promoted backup answers the requests
+        # it replays.
+        return self.is_primary
+
+    def _after_execute(self, envelope: Envelope, index: Optional[int]) -> None:
+        if index is not None:
+            self.processed_index = index
+        if (
+            self.is_primary
+            and self.checkpoint_interval > 0
+            and index is not None
+            and index % self.checkpoint_interval == 0
+        ):
+            self._send_checkpoint()
+
+    def _send_checkpoint(self) -> None:
+        checkpoint = Checkpoint(
+            app_state=self.app.get_state(),
+            request_index=self.request_index,
+            # Round counters let backups discard CCS messages whose
+            # values are already baked into the checkpointed state.
+            time_state=self.time_source.get_transfer_state(),
+            processed_index=self.processed_index,
+        )
+        self.endpoint.mcast(
+            make_envelope(
+                MsgType.CHECKPOINT,
+                self.group,
+                self.group,
+                0,
+                self.processed_index,
+                self.node_id,
+                body=checkpoint,
+            )
+        )
+        self.stats.checkpoints_sent += 1
+        if trace.TRACER.enabled:
+            trace.emit(
+                "replica.checkpoint", self.node_id, group=self.group,
+                covers=self.processed_index,
+            )
+
+    def _handle_checkpoint(self, envelope: Envelope) -> None:
+        if envelope.sender == self.node_id:
+            return  # our own checkpoint echoed back
+        checkpoint: Checkpoint = envelope.body
+        self.app.set_state(checkpoint.app_state)
+        self.processed_index = checkpoint.processed_index
+        if checkpoint.time_state is not None:
+            self.time_source.fast_forward(checkpoint.time_state)
+        self.request_log = [
+            (index, env)
+            for index, env in self.request_log
+            if index > checkpoint.processed_index
+        ]
+        self.stats.checkpoints_applied += 1
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def _view_changed(self, view: GroupView) -> None:
+        if self.is_primary and not self._was_primary and self.state_transfer.ready:
+            self._promote()
+        self._was_primary = self.is_primary
+
+    def _promote(self) -> None:
+        """Become the primary: replay logged requests beyond the last
+        checkpoint, then continue with live traffic."""
+        self.stats.promotions += 1
+        if trace.TRACER.enabled:
+            trace.emit(
+                "replica.promote", self.node_id, group=self.group,
+                replay_from=self.processed_index,
+            )
+        backlog = [
+            (index, env) for index, env in self.request_log
+            if index > self.processed_index
+        ]
+        self.request_log = []
+        for index, envelope in backlog:
+            self.request_queue.put((envelope, index))
+
+    # ------------------------------------------------------------------
+    # State transfer integration
+    # ------------------------------------------------------------------
+
+    def checkpoint_index(self) -> int:
+        return self.processed_index
+
+    def apply_checkpoint_index(self, index: int) -> None:
+        self.processed_index = index
+
+    def runs_special_round(self) -> bool:
+        # Backups' request-queue position differs from the primary's, so
+        # only the primary performs the special round (its CCS message
+        # still reaches the recovering replica for clock integration).
+        return self.is_primary
+
+    def after_state_served(self, checkpoint: Checkpoint) -> None:
+        # Serving a state transfer produced a fresh checkpoint anyway:
+        # broadcast it so backups fast-forward past the special round.
+        self._send_checkpoint()
+
+    def capture_extra_state(self) -> Any:
+        """Hand a joiner the backlog its checkpoint does not cover."""
+        if self.is_primary:
+            return []
+        return [
+            (index, env) for index, env in self.request_log
+            if index > self.processed_index
+        ]
+
+    def apply_extra_state(self, extra: Any) -> None:
+        if extra:
+            self.request_log = list(extra)

@@ -1,0 +1,327 @@
+"""The replica runtime: one replicated application instance on a node.
+
+A :class:`Replica` binds together
+
+* a :class:`~repro.replication.group.GroupEndpoint` (ordered messaging
+  and views),
+* the application object (methods written as generators taking a
+  :class:`~repro.replication.context.ReplicaContext`),
+* a :class:`~repro.replication.timesource.TimeSource` (the consistent
+  time service or a baseline), and
+* a deterministic :class:`~repro.replication.scheduler.ThreadManager`.
+
+Requests are processed by a single *main* logical thread in delivery
+order (the paper's model: "one and only one thread is assigned to
+process incoming remote method invocations"), which is what makes the
+replicas' visible behaviour deterministic given deterministic clock
+readings.  Subclasses implement the three replication styles the paper
+targets: active, passive (primary/backup) and semi-active.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import ReplicationError
+from ..sim.process import Store
+from .context import ReplicaContext
+from .envelope import Envelope, MsgType, make_envelope
+from .group import GroupRuntime, GroupView
+from .scheduler import ThreadManager
+from .state_transfer import StateTransferManager
+from .timesource import TimeSource
+from ..rpc.messages import Result
+
+
+class Application:
+    """Base class for replicated application objects.
+
+    Methods are generators: ``def ping(self, ctx, x): yield ctx.compute(..);
+    return x``.  ``get_state``/``set_state`` support checkpointing and
+    state transfer; override them if the application holds state.
+    """
+
+    def get_state(self) -> Any:
+        """Return a deep-copyable snapshot of application state."""
+        return None
+
+    def set_state(self, state: Any) -> None:
+        """Restore a snapshot produced by :meth:`get_state`."""
+
+
+@dataclass
+class ReplicaStats:
+    """Counters used by tests and the evaluation harness."""
+
+    requests_processed: int = 0
+    replies_sent: int = 0
+    checkpoints_sent: int = 0
+    checkpoints_applied: int = 0
+    requests_logged: int = 0
+    promotions: int = 0
+
+
+class Replica(abc.ABC):
+    """Common machinery of all replication styles."""
+
+    style = "abstract"
+
+    def __init__(
+        self,
+        runtime: GroupRuntime,
+        group: str,
+        app: Application,
+        time_source_factory: Callable[["Replica"], TimeSource],
+        *,
+        join_existing: bool = False,
+    ):
+        self.runtime = runtime
+        #: True when this replica is (re)joining a group that is believed
+        #: to exist already — e.g. after a crash, when the local group
+        #: runtime has no view history and cannot tell from its first
+        #: view whether other members exist.
+        self.join_existing = join_existing
+        self.group = group
+        self.app = app
+        self.node = runtime.processor.node
+        self.node_id = self.node.node_id
+        self.sim = runtime.sim
+        self.endpoint = runtime.endpoint(group)
+        self.threads = ThreadManager(self.node, f"{group}@{self.node_id}")
+        self.request_queue = Store(self.sim, name=f"{group}@{self.node_id}.requests")
+        self.state_transfer = StateTransferManager(self)
+        self.time_source = time_source_factory(self)
+        #: Count of REQUEST envelopes delivered to the group — identical
+        #: at every member because delivery is totally ordered.
+        self.request_index = 0
+        self.stats = ReplicaStats()
+        self.main_thread_id: str = ""
+        self._join_observed = False
+        self._started = False
+        # -- primary-component handling (paper Section 2) ----------------
+        #: True while this replica's component is not the primary one:
+        #: it must not process requests (only the primary component of a
+        #: partitioned system survives).
+        self.suspended = False
+        #: Group members seen in the last view before suspension.
+        self._members_before_suspension: frozenset = frozenset()
+        #: Nodes of the component we were suspended in.
+        self._component_nodes: frozenset = frozenset()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Join the group and start the main processing thread."""
+        if self._started:
+            raise ReplicationError(f"replica {self.group}@{self.node_id} already started")
+        self._started = True
+        self.endpoint.on_message = self._on_message
+        self.endpoint.on_view_change = self._on_view_change
+        self.endpoint.on_config_change = self._on_totem_config
+        self.endpoint.on_raw_message = self._on_raw_message
+        main = self.threads.create("main", self._main_loop)
+        self.main_thread_id = main.thread_id
+        self.endpoint.join()
+
+    def create_thread(self, name: str, body: Callable[[ReplicaContext], Generator]):
+        """Start an additional logical thread (e.g. a timer thread).
+
+        Threads must be created in the same order at every replica; the
+        deterministic runtime guarantees this when creation happens in
+        ``start()`` or in replicated request handlers.
+        """
+        thread = self.threads.create(name)
+        ctx = ReplicaContext(self, thread.thread_id)
+        thread.process = self.node.spawn(body(ctx), name=f"{self.group}:{name}")
+        return thread
+
+    @property
+    def is_primary(self) -> bool:
+        return self.endpoint.is_primary
+
+    @property
+    def view(self) -> GroupView:
+        return self.endpoint.view
+
+    # ------------------------------------------------------------------
+    # Delivery path
+    # ------------------------------------------------------------------
+
+    def _on_raw_message(self, envelope: Envelope) -> None:
+        if envelope.header.msg_type is MsgType.CCS:
+            self.time_source.handle_raw_ccs(envelope)
+
+    def _on_totem_config(self, change) -> None:
+        """Primary-component partition handling (paper Section 2): only
+        the primary component survives a partition.  A replica finding
+        itself in a non-primary component suspends; when the partition
+        heals it either resumes (if no group member kept processing
+        elsewhere) or rejoins through a fresh state transfer."""
+        self.time_source.on_config_change(change)
+        if not change.is_primary:
+            if not self.suspended and self.state_transfer.ready:
+                self.suspended = True
+                self._members_before_suspension = frozenset(
+                    self.endpoint.view.members
+                ) | {self.node_id}
+            self._component_nodes = frozenset(change.members)
+            return
+        if not self.suspended:
+            return
+        # Back in a primary component.  Group members outside our old
+        # component may have processed requests while we were suspended.
+        self.suspended = False
+        foreign = self._members_before_suspension - self._component_nodes
+        if foreign:
+            self.state_transfer.restart()
+
+    def _on_message(self, envelope: Envelope) -> None:
+        if self.suspended:
+            # Non-primary component: no processing, no logging, nothing.
+            return
+        msg_type = envelope.header.msg_type
+        # Time-service control traffic and checkpoints addressed to us are
+        # handled immediately even during recovery.
+        if msg_type is MsgType.CCS:
+            self.time_source.handle_ccs(envelope)
+            return
+        if msg_type is MsgType.STATE:
+            self.state_transfer.on_state(envelope)
+            return
+        if msg_type is MsgType.REPLY:
+            return  # replies concern clients, not server replicas
+        if not self.state_transfer.ready:
+            if (
+                msg_type is MsgType.GET_STATE
+                and envelope.body.get("target") == self.node_id
+            ):
+                # Our own GET_STATE came back: from here on, queue.
+                self.state_transfer.begin_queuing()
+                return
+            self.state_transfer.observe_while_recovering(envelope)
+            return
+        self.dispatch(envelope)
+
+    def dispatch(self, envelope: Envelope) -> None:
+        """Route one ordered message (live or replayed after recovery)."""
+        msg_type = envelope.header.msg_type
+        if msg_type is MsgType.REQUEST:
+            self.request_index += 1
+            self._handle_request(envelope, self.request_index)
+        elif msg_type is MsgType.GET_STATE:
+            if envelope.body.get("target") != self.node_id:
+                # Serve at a quiescent point: through the request queue.
+                self.request_queue.put(envelope)
+        elif msg_type is MsgType.CHECKPOINT:
+            self._handle_checkpoint(envelope)
+        elif msg_type is MsgType.APP:
+            self._handle_app_message(envelope)
+
+    def _main_loop(self) -> Generator:
+        while True:
+            item = yield self.request_queue.get()
+            envelope, index = item if isinstance(item, tuple) else (item, None)
+            if envelope.header.msg_type is MsgType.GET_STATE:
+                yield from self.state_transfer.handle_get_state(envelope)
+            else:
+                yield from self._execute(envelope, index)
+
+    def _execute(self, envelope: Envelope, index: Optional[int]) -> Generator:
+        invocation = envelope.body
+        ctx = ReplicaContext(self, self.main_thread_id)
+        method = getattr(self.app, invocation.method, None)
+        if method is None:
+            result = Result(error=f"NoSuchMethod: {invocation.method}")
+        else:
+            try:
+                value = yield from method(ctx, *invocation.args)
+                result = Result(value=value)
+            except Exception as exc:  # deterministic app error -> caller
+                result = Result(error=f"{type(exc).__name__}: {exc}")
+        self.stats.requests_processed += 1
+        if self._should_reply():
+            header = envelope.header
+            self.endpoint.mcast(
+                make_envelope(
+                    MsgType.REPLY,
+                    self.group,
+                    header.src_grp,
+                    header.conn_id,
+                    header.msg_seq_num,
+                    self.node_id,
+                    body=result,
+                )
+            )
+            self.stats.replies_sent += 1
+        self._after_execute(envelope, index)
+
+    # ------------------------------------------------------------------
+    # View plumbing
+    # ------------------------------------------------------------------
+
+    def _on_view_change(self, view: GroupView) -> None:
+        if not self._join_observed and self.node_id in view.members:
+            self._join_observed = True
+            if len(view.members) == 1 and not self.join_existing:
+                self.state_transfer.mark_founder()
+            else:
+                self.state_transfer.request_state()
+        self.time_source.on_view_change(view)
+        self._view_changed(view)
+
+    # ------------------------------------------------------------------
+    # Style hooks
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _handle_request(self, envelope: Envelope, index: int) -> None:
+        """Decide what to do with a delivered request."""
+
+    def _should_reply(self) -> bool:
+        return True
+
+    def _after_execute(self, envelope: Envelope, index: Optional[int]) -> None:
+        """Post-processing hook (checkpointing for passive replication)."""
+
+    def _handle_checkpoint(self, envelope: Envelope) -> None:
+        """Periodic checkpoint from a passive primary."""
+
+    def _handle_app_message(self, envelope: Envelope) -> None:
+        """Application-defined ordered group message."""
+
+    def _view_changed(self, view: GroupView) -> None:
+        """Membership hook (failover for passive replication)."""
+
+    # -- state-transfer integration points -------------------------------
+
+    def checkpoint_index(self) -> int:
+        """How many requests the transferred state covers."""
+        return self.request_index
+
+    def apply_checkpoint_index(self, index: int) -> None:
+        """Adopt the processed-request watermark from a checkpoint."""
+
+    def capture_extra_state(self) -> Any:
+        """Style-specific extra state for transfer (e.g. request log)."""
+        return None
+
+    def apply_extra_state(self, extra: Any) -> None:
+        """Adopt style-specific extra state from a checkpoint."""
+
+    def runs_special_round(self) -> bool:
+        """Whether this member performs the special CCS round at a
+        GET_STATE quiescent point.  True for styles that process in
+        lockstep (active, semi-active); passive backups do not — their
+        request-queue position differs from the primary's, so a read
+        would consume the wrong buffered round."""
+        return True
+
+    def after_state_served(self, checkpoint: Any) -> None:
+        """Hook after this member multicast a STATE checkpoint."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.group}@{self.node_id}>"

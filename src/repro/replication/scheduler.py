@@ -1,0 +1,80 @@
+"""Deterministic logical-thread management for replicas.
+
+The paper (Section 2) requires that "all threads that perform
+clock-related operations are created during the initialization of a
+replica, or during runtime, in the same order at different replicas" —
+logical thread identity must match across replicas so CCS messages can
+be matched to the right per-thread handler everywhere.
+
+:class:`ThreadManager` assigns deterministic thread identifiers from the
+creation order (``"0:main"``, ``"1:timer"``, …).  As long as replicas
+execute the same deterministic program, they create the same logical
+threads in the same order and the identifiers line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generator, List, Optional
+
+from ..errors import ReplicationError
+from ..sim.kernel import Process
+from ..sim.node import Node
+
+
+@dataclass
+class LogicalThread:
+    """One application-level thread within a replica."""
+
+    thread_id: str
+    name: str
+    process: Optional[Process] = None
+
+    @property
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive
+
+
+class ThreadManager:
+    """Creates logical threads with replica-consistent identifiers."""
+
+    def __init__(self, node: Node, owner: str):
+        self.node = node
+        self.owner = owner
+        self._threads: Dict[str, LogicalThread] = {}
+        self._creation_order: List[str] = []
+
+    def create(
+        self,
+        name: str,
+        generator_factory: Optional[Callable[[], Generator]] = None,
+    ) -> LogicalThread:
+        """Create logical thread ``name``; optionally start its body.
+
+        The thread identifier embeds the creation index, so replicas that
+        create threads in the same order agree on every identifier (the
+        property the consistent time service relies on to route CCS
+        messages to the right handler).
+        """
+        thread_id = f"{len(self._creation_order)}:{name}"
+        if thread_id in self._threads:
+            raise ReplicationError(f"thread {thread_id!r} already exists")
+        thread = LogicalThread(thread_id, name)
+        self._threads[thread_id] = thread
+        self._creation_order.append(thread_id)
+        if generator_factory is not None:
+            thread.process = self.node.spawn(
+                generator_factory(), name=f"{self.owner}:{name}"
+            )
+        return thread
+
+    def get(self, thread_id: str) -> Optional[LogicalThread]:
+        return self._threads.get(thread_id)
+
+    @property
+    def thread_ids(self) -> List[str]:
+        """All thread ids in creation order."""
+        return list(self._creation_order)
+
+    def __len__(self) -> int:
+        return len(self._threads)

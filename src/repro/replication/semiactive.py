@@ -1,0 +1,34 @@
+"""Semi-active replication (Delta-4 style hybrid, paper Section 2).
+
+Both the primary and the backups process incoming messages, but any
+non-deterministic decision is made at the primary and conveyed to the
+backups.  Here the non-deterministic decisions are clock readings: the
+time source runs in primary-only mode — only the primary multicasts CCS
+messages; backups block until the primary's value arrives and adopt it.
+Only the primary transmits replies.
+"""
+
+from __future__ import annotations
+
+from .envelope import Envelope
+from .replica import Replica
+
+
+class SemiActiveReplica(Replica):
+    """A member of a semi-actively replicated group.
+
+    Construct its time source in primary-only mode (e.g.
+    ``ConsistentTimeService(..., mode="primary")``) so non-deterministic
+    clock decisions flow from the primary, as Delta-4 prescribes.
+    """
+
+    style = "semi-active"
+
+    def _handle_request(self, envelope: Envelope, index: int) -> None:
+        # Everyone processes (unlike passive replication, backups stay
+        # hot and need no replay on failover).
+        self.request_queue.put((envelope, index))
+
+    def _should_reply(self) -> bool:
+        # Only the primary talks to the outside world.
+        return self.is_primary

@@ -1,0 +1,91 @@
+"""The time-source interface replicas read their clocks through.
+
+Application code never touches the node's hardware clock directly; every
+clock-related operation goes through the replica's :class:`TimeSource`
+(the simulation counterpart of the paper's library interpositioning of
+``gettimeofday()`` and friends).  Implementations:
+
+* :class:`repro.core.time_service.ConsistentTimeService` — the paper's
+  contribution (group clock via CCS rounds).
+* :class:`repro.baselines.local_clock.LocalClockSource` — raw physical
+  clocks (the broken status quo of Figure 1).
+* :class:`repro.baselines.primary_backup.PrimaryBackupClockSource` — the
+  related-work approach ([9], [3]): primary reads its clock and conveys
+  the value.
+* :class:`repro.baselines.ntp.NtpDisciplinedSource` — software clock
+  synchronization; clocks agree within a bound but reads still diverge.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..sim.kernel import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..totem.messages import ConfigurationChange
+    from .envelope import Envelope
+    from .group import GroupView
+
+
+class TimeSource(abc.ABC):
+    """Pluggable provider of clock readings for one replica."""
+
+    #: Human-readable name used in experiment reports.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def read(self, thread_id: str, call_name: str = "gettimeofday") -> Event:
+        """Begin one clock-related operation on behalf of ``thread_id``.
+
+        Returns a simulation event that fires with the
+        :class:`~repro.sim.clock.ClockValue` result.  ``call_name`` names
+        the interposed system call (``gettimeofday``, ``time`` or
+        ``ftime``) and controls the granularity of the returned value.
+        """
+
+    # -- protocol plumbing (no-ops for sources that need none) -----------
+
+    def handle_ccs(self, envelope: "Envelope") -> None:
+        """An ordered CCS control message arrived for this replica."""
+
+    def handle_raw_ccs(self, envelope: "Envelope") -> None:
+        """A CCS message was *observed* on the wire before ordering
+        completed (early duplicate-suppression opportunity)."""
+
+    def on_view_change(self, view: "GroupView") -> None:
+        """The replica's group membership view changed."""
+
+    def on_config_change(self, change: "ConfigurationChange") -> None:
+        """A Totem configuration change was delivered."""
+
+    # -- state transfer (Section 3.2, "Integration of New Clocks") -------
+
+    def abort_in_flight(self) -> None:
+        """Abort clock operations blocked mid-round.
+
+        Called when a replica abandons its current protocol position
+        (e.g. rejoining the primary component after a partition): blocked
+        operations fail with :class:`~repro.errors.TimeServiceError`,
+        which the request executor surfaces as an application error."""
+
+    def begin_recovery(self) -> None:
+        """This replica is recovering: adopt the group clock from the
+        CCS messages that arrive (the special round), do not compete."""
+
+    def finish_recovery(self) -> None:
+        """State transfer completed; resume normal operation."""
+
+    def get_transfer_state(self) -> object:
+        """Replica-independent time-service state for a checkpoint
+        (per-thread round numbers etc. — never clock offsets, which are
+        derived from each replica's own physical clock)."""
+        return None
+
+    def set_transfer_state(self, state: object) -> None:
+        """Adopt time-service state from a checkpoint."""
+
+    def fast_forward(self, state: object) -> None:
+        """Skip past rounds a periodic checkpoint's state already covers
+        (passive replication)."""

@@ -1,0 +1,6 @@
+"""Remote method invocation over the group layer (S9 in DESIGN.md)."""
+
+from .client import ClientStats, RpcClient, unwrap
+from .messages import Invocation, Result
+
+__all__ = ["ClientStats", "Invocation", "Result", "RpcClient", "unwrap"]

@@ -1,0 +1,147 @@
+"""RPC client: remote method invocations on a replicated server group.
+
+The client is typically unreplicated (a singleton group, as in the
+paper's experiments where the client runs on the ring leader n0).  It
+multicasts ``REQUEST`` envelopes to the server group over the total
+order, collects the first matching ``REPLY`` and discards duplicates —
+with active replication every replica answers; the first reply wins.
+
+Because the client is not replicated, it reads its node's physical clock
+directly to timestamp requests, which is how the paper measures
+end-to-end latency (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import RpcTimeout
+from ..replication.envelope import Envelope, MsgType, make_envelope
+from ..replication.group import GroupRuntime
+from ..sim.kernel import Event
+from .messages import Invocation, Result
+
+
+@dataclass
+class ClientStats:
+    """Counters for tests and the evaluation harness."""
+
+    calls: int = 0
+    replies_first: int = 0
+    replies_duplicate: int = 0
+    timeouts: int = 0
+    #: Per-call end-to-end latency in microseconds, by call order.
+    latencies_us: list = field(default_factory=list)
+
+
+class RpcClient:
+    """One client endpoint on one node."""
+
+    def __init__(self, runtime: GroupRuntime, group: Optional[str] = None):
+        self.runtime = runtime
+        self.node = runtime.processor.node
+        self.sim = runtime.sim
+        self.group = group or f"client.{runtime.node_id}"
+        self.endpoint = runtime.endpoint(self.group)
+        self.endpoint.on_message = self._on_message
+        self.endpoint.join()
+        self.stats = ClientStats()
+        self._next_conn = 1
+        self._conns: Dict[str, int] = {}
+        self._next_seq: Dict[int, int] = {}
+        self._pending: Dict[Tuple[int, int], Event] = {}
+        self._answered: set = set()
+
+    # ------------------------------------------------------------------
+    # Invocation
+    # ------------------------------------------------------------------
+
+    def call(
+        self,
+        server_group: str,
+        method: str,
+        *args,
+        timeout: float = 1.0,
+    ) -> Event:
+        """Invoke ``method(*args)`` on ``server_group``.
+
+        Returns a yieldable event that succeeds with the
+        :class:`~repro.rpc.messages.Result` of the first reply, or fails
+        with :class:`~repro.errors.RpcTimeout`.
+        """
+        conn_id = self._conn_for(server_group)
+        seq = self._next_seq[conn_id]
+        self._next_seq[conn_id] += 1
+        event = Event(self.sim)
+        key = (conn_id, seq)
+        self._pending[key] = event
+        self.stats.calls += 1
+        self.endpoint.mcast(
+            make_envelope(
+                MsgType.REQUEST,
+                self.group,
+                server_group,
+                conn_id,
+                seq,
+                self.node.node_id,
+                body=Invocation(method, tuple(args)),
+            )
+        )
+        if timeout is not None:
+            self.sim.schedule(timeout, self._on_timeout, key, server_group, method)
+        return event
+
+    def timed_call(self, server_group: str, method: str, *args, timeout: float = 1.0):
+        """Generator: invoke and measure end-to-end latency at the client
+        with its local ``gettimeofday()`` (the client is unreplicated, so
+        reading the physical clock directly is legitimate).
+
+        Returns ``(result, latency_us)``.
+        """
+        start_us = self.node.read_clock_us()
+        result = yield self.call(server_group, method, *args, timeout=timeout)
+        latency_us = self.node.read_clock_us() - start_us
+        self.stats.latencies_us.append(latency_us)
+        return result, latency_us
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _conn_for(self, server_group: str) -> int:
+        if server_group not in self._conns:
+            conn_id = self._next_conn
+            self._next_conn += 1
+            self._conns[server_group] = conn_id
+            self._next_seq[conn_id] = 1
+        return self._conns[server_group]
+
+    def _on_message(self, envelope: Envelope) -> None:
+        if envelope.header.msg_type is not MsgType.REPLY:
+            return
+        key = (envelope.header.conn_id, envelope.header.msg_seq_num)
+        event = self._pending.pop(key, None)
+        if event is not None:
+            self._answered.add(key)
+            self.stats.replies_first += 1
+            if not event.triggered:
+                event.succeed(envelope.body)
+        elif key in self._answered:
+            # Later replicas' replies for an answered invocation.
+            self.stats.replies_duplicate += 1
+
+    def _on_timeout(self, key, server_group: str, method: str) -> None:
+        event = self._pending.pop(key, None)
+        if event is not None and not event.triggered:
+            self.stats.timeouts += 1
+            event.fail(
+                RpcTimeout(f"no reply from {server_group}.{method} (call {key})")
+            )
+
+
+def unwrap(result: Result):
+    """Return ``result.value`` or raise the carried application error."""
+    if not result.ok:
+        raise RuntimeError(result.error)
+    return result.value

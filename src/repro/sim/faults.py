@@ -1,0 +1,109 @@
+"""Declarative fault injection: scripted crash / recovery / partition
+schedules.
+
+The evaluation and the chaos tests need reproducible fault scenarios —
+"crash n2 at t=1.5 ms, partition {n0,n1} from {n2,n3} at t=4 ms, heal at
+t=9 ms".  A :class:`FaultPlan` captures such a script and arms it on a
+testbed; every injected fault is recorded for the experiment report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action."""
+
+    at_s: float
+    kind: str       # "crash" | "recover" | "partition" | "heal" | "call"
+    target: Tuple = ()
+
+    def __str__(self) -> str:
+        return f"{self.kind}{self.target} @ {self.at_s * 1000:.2f} ms"
+
+
+class FaultPlan:
+    """A reproducible schedule of fault injections.
+
+    Build fluently, then :meth:`arm`::
+
+        plan = (FaultPlan()
+                .crash("n2", at=0.005)
+                .partition({"n0", "n1"}, {"n3"}, at=0.010)
+                .heal(at=0.050)
+                .recover("n2", at=0.060))
+        plan.arm(bed)
+    """
+
+    def __init__(self):
+        self.events: List[FaultEvent] = []
+        self.injected: List[FaultEvent] = []
+        self._armed = False
+
+    # -- construction -----------------------------------------------------
+
+    def crash(self, node_id: str, *, at: float) -> "FaultPlan":
+        """Fail-stop ``node_id`` at simulated time ``at``."""
+        return self._add(FaultEvent(at, "crash", (node_id,)))
+
+    def recover(self, node_id: str, *, at: float) -> "FaultPlan":
+        """Restart ``node_id`` (fresh protocol state) at ``at``."""
+        return self._add(FaultEvent(at, "recover", (node_id,)))
+
+    def partition(self, *components, at: float) -> "FaultPlan":
+        """Split the network into the given components at ``at``."""
+        frozen = tuple(frozenset(c) for c in components)
+        return self._add(FaultEvent(at, "partition", frozen))
+
+    def heal(self, *, at: float) -> "FaultPlan":
+        """Remove all partitions at ``at``."""
+        return self._add(FaultEvent(at, "heal"))
+
+    def call(self, fn: Callable[[], None], *, at: float) -> "FaultPlan":
+        """Run an arbitrary callback at ``at`` (custom faults)."""
+        return self._add(FaultEvent(at, "call", (fn,)))
+
+    def _add(self, event: FaultEvent) -> "FaultPlan":
+        if self._armed:
+            raise ConfigurationError("cannot extend an armed fault plan")
+        if event.at_s < 0:
+            raise ConfigurationError("fault time must be non-negative")
+        self.events.append(event)
+        return self
+
+    # -- execution ----------------------------------------------------------
+
+    def arm(self, bed) -> "FaultPlan":
+        """Schedule every event on the testbed's simulator.
+
+        Times are relative to the moment of arming.
+        """
+        if self._armed:
+            raise ConfigurationError("fault plan already armed")
+        self._armed = True
+        for event in sorted(self.events, key=lambda e: e.at_s):
+            bed.sim.schedule(event.at_s, self._inject, bed, event)
+        return self
+
+    def _inject(self, bed, event: FaultEvent) -> None:
+        if event.kind == "crash":
+            bed.crash(event.target[0])
+        elif event.kind == "recover":
+            bed.recover(event.target[0])
+        elif event.kind == "partition":
+            bed.cluster.network.partition(*event.target)
+        elif event.kind == "heal":
+            bed.cluster.network.heal()
+        elif event.kind == "call":
+            event.target[0]()
+        self.injected.append(event)
+
+    @property
+    def done(self) -> bool:
+        """True once every scheduled fault has been injected."""
+        return len(self.injected) == len(self.events)

@@ -1,0 +1,421 @@
+"""Discrete-event simulation kernel.
+
+A tiny, deterministic event-driven simulator in the style of SimPy,
+purpose-built for this reproduction:
+
+* :class:`Simulator` owns the virtual clock and the event heap.
+* :class:`Event` is a one-shot occurrence that processes can wait on.
+* :class:`Timeout` is an event that fires after a virtual delay.
+* :class:`Process` wraps a Python generator; each value the generator
+  yields must be an :class:`Event`, and the process resumes when that
+  event fires.
+
+Determinism: events scheduled for the same virtual time fire in FIFO
+order of scheduling (stable sequence numbers break ties), so a run is a
+pure function of the root RNG seed and the program.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from ..errors import Interrupt, ProcessKilled, SimulationError
+
+#: Scheduling priorities: URGENT events (interrupts, kills) pre-empt
+#: NORMAL events scheduled for the same virtual time.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()  # sentinel: event not yet triggered
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks to run at the current virtual
+    time.  Processes wait on events by ``yield``-ing them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once succeed()/fail() has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception of the event."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._queue_event(self, priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown
+        into them."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._queue_event(self, priority)
+        return self
+
+    # -- internal ------------------------------------------------------
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately via the scheduler so
+            # late waiters still observe the value.
+            self.sim.call_soon(callback, self)
+        else:
+            self.callbacks.append(callback)
+
+    def _remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is not None and callback in self.callbacks:
+            self.callbacks.remove(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if not self.triggered else ("ok" if self._ok else "failed")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after ``delay`` units of virtual time."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        # Triggered lazily when popped from the heap (see Simulator.step),
+        # so `triggered` stays False until the delay has elapsed.
+        self._delayed_ok = True
+        self._delayed_value = value
+        sim._queue_event(self, NORMAL, delay=delay)
+
+
+class Process(Event):
+    """A simulated thread of control, driven by a generator.
+
+    The process *is itself an event* that succeeds with the generator's
+    return value (or fails with its uncaught exception), so processes can
+    wait for each other by yielding a :class:`Process`.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = None  # event we are waiting on
+        self._alive = True
+        # Kick-start on the next scheduler step at the current time.
+        start = Event(sim)
+        start._delayed_ok = True
+        start._delayed_value = None
+        start._add_callback(self._resume)
+        sim._queue_event(start, NORMAL)
+
+    # -- public --------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The process is resumed at the current virtual time (URGENT
+        priority) even if the event it was waiting on has not fired; it
+        may re-yield that event to keep waiting.
+        """
+        if not self._alive:
+            return
+        wakeup = Event(self.sim)
+        wakeup._delayed_ok = False
+        wakeup._delayed_value = Interrupt(cause)
+        wakeup._add_callback(self._resume)
+        self.sim._queue_event(wakeup, URGENT)
+
+    def kill(self) -> None:
+        """Forcibly terminate the process (fail-stop node crash).
+
+        The generator is closed; waiters on the process see it fail with
+        :class:`ProcessKilled`.
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        if self._target is not None:
+            self._target._remove_callback(self._resume)
+            self._target = None
+        self._generator.close()
+        if not self.triggered:
+            self._ok = False
+            self._value = ProcessKilled(self.name)
+            self._fail_silently = True  # a kill is deliberate, not a bug
+            self.sim._queue_event(self, URGENT)
+
+    # -- internal ------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        if not self._alive:
+            return
+        # Detach from whatever we were waiting on (relevant for
+        # interrupts, where the original target stays pending).
+        if self._target is not None and self._target is not event:
+            self._target._remove_callback(self._resume)
+        self._target = None
+
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._alive = False
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self._alive = False
+            if not self.triggered:
+                self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(next_event, Event):
+            self._alive = False
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {next_event!r}"
+            )
+            if not self.triggered:
+                self.fail(err)
+            return
+        self._target = next_event
+        next_event._add_callback(self._resume)
+
+
+class AnyOf(Event):
+    """Succeeds as soon as any of ``events`` triggers.
+
+    Its value is a list of ``(event, value)`` pairs for the events that
+    have triggered by the time the condition fires.
+    """
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event._add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        done = [(e, e._value) for e in self.events if e.triggered and e._ok]
+        self.succeed(done)
+
+
+class AllOf(Event):
+    """Succeeds once all of ``events`` have triggered successfully.
+
+    Its value is the list of event values in the order given.
+    """
+
+    def __init__(self, sim: "Simulator", events: List[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self.events:
+            event._add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class Simulator:
+    """The discrete-event scheduler: virtual clock plus event heap."""
+
+    def __init__(self):
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ---------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Spawn a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Condition event: fires when any input event fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Condition event: fires when all input events have fired."""
+        return AllOf(self, events)
+
+    # -- callback-style scheduling ---------------------------------------
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time.
+
+        Returns the underlying event; cancel with :meth:`cancel`.
+        """
+        event = self.timeout(delay)
+        event._add_callback(lambda ev: callback(*args))
+        return event
+
+    def call_soon(self, callback: Callable, *args: Any) -> Event:
+        """Run ``callback(*args)`` at the current virtual time, after the
+        currently-running step completes."""
+        return self.schedule(0.0, callback, *args)
+
+    def cancel(self, event: Event) -> None:
+        """Prevent a scheduled event's callbacks from running.
+
+        The heap entry stays (heap removal is O(n)); the event is simply
+        marked defused and skipped when popped.
+        """
+        event._defused = True
+
+    # -- internal queueing ------------------------------------------------
+
+    def _queue_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event in the heap."""
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        if event._value is _PENDING:
+            # Heap-delayed trigger (Timeout, process start, interrupt).
+            event._ok = getattr(event, "_delayed_ok", True)
+            event._value = getattr(event, "_delayed_value", None)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if getattr(event, "_defused", False):
+            return
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif event._ok is False and not getattr(event, "_fail_silently", False):
+            # A failed event nobody waited on: surface the error rather
+            # than losing it silently.
+            raise event._value
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run until the heap drains, virtual time passes ``until``, or
+        ``max_events`` events have been processed.
+
+        Returns the virtual time at which execution stopped.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+    def run_process(self, generator: Generator, name: str = "") -> Any:
+        """Convenience: spawn ``generator`` and run until it finishes.
+
+        Returns the process's return value; re-raises its exception.
+        """
+        proc = self.process(generator, name=name)
+        while not proc.triggered and self._heap:
+            self.step()
+        if not proc.triggered:
+            raise SimulationError(f"process {proc.name!r} deadlocked: event heap empty")
+        if proc._ok:
+            return proc._value
+        # We are observing the failure here; stop the scheduler from
+        # re-raising it when the (still queued) process event is popped.
+        proc._fail_silently = True
+        raise proc._value

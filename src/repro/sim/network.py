@@ -1,0 +1,195 @@
+"""Simulated local-area network.
+
+Substitutes for the paper's dedicated 100 Mbit/s Ethernet.  The model is
+a broadcast LAN: any attached interface can unicast to another interface
+or multicast to all of them.  Each delivery experiences
+
+``latency = transmission(size) + propagation + jitter``
+
+with jitter drawn per destination from a seeded stream, plus optional
+independent per-destination loss and explicit network partitions (used to
+exercise Totem's recovery and primary-component logic).
+
+Determinism: all randomness comes from the stream handed in at
+construction, so identical seeds give identical packet timings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import NetworkError
+from .kernel import Simulator
+
+
+@dataclass
+class LatencyModel:
+    """Latency parameters for one LAN segment.
+
+    * ``bandwidth_bps``  — serialization rate (bits per second).
+    * ``propagation_s``  — fixed propagation + interrupt/driver cost.
+    * ``jitter_mean_s``  — mean of the exponential jitter component
+      (queueing in the kernel/NIC); zero disables jitter.
+    """
+
+    bandwidth_bps: float = 100e6
+    propagation_s: float = 20e-6
+    jitter_mean_s: float = 5e-6
+
+    def sample(self, rng: random.Random, size_bytes: int) -> float:
+        """Draw one end-to-end latency for a frame of ``size_bytes``."""
+        transmission = (size_bytes * 8.0) / self.bandwidth_bps
+        jitter = rng.expovariate(1.0 / self.jitter_mean_s) if self.jitter_mean_s > 0 else 0.0
+        return transmission + self.propagation_s + jitter
+
+
+@dataclass
+class Frame:
+    """One frame on the wire."""
+
+    src: str
+    dst: Optional[str]  # None for multicast
+    payload: Any
+    size_bytes: int
+    sent_at: float
+    seq: int = field(default=0)
+
+
+class Interface:
+    """A node's attachment point to the network."""
+
+    def __init__(self, network: "Network", node_id: str,
+                 deliver: Callable[[Frame], None]):
+        self.network = network
+        self.node_id = node_id
+        self._deliver = deliver
+        self.up = True
+        # Wire-level statistics, used by the evaluation (e.g. counting CCS
+        # messages actually transmitted).
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+
+    # -- sending ----------------------------------------------------------
+
+    def unicast(self, dst: str, payload: Any, size_bytes: int = 128) -> None:
+        """Send ``payload`` to the interface attached as ``dst``."""
+        self._count_send(size_bytes)
+        self.network._transmit(Frame(self.node_id, dst, payload, size_bytes,
+                                     self.network.sim.now))
+
+    def multicast(self, payload: Any, size_bytes: int = 128) -> None:
+        """Send ``payload`` to every attached interface (including the
+        sender: UDP multicast loops back, and Totem relies on receiving
+        its own broadcasts)."""
+        self._count_send(size_bytes)
+        self.network._transmit(Frame(self.node_id, None, payload, size_bytes,
+                                     self.network.sim.now))
+
+    def _count_send(self, size_bytes: int) -> None:
+        if not self.up:
+            raise NetworkError(f"interface {self.node_id!r} is down")
+        self.frames_sent += 1
+        self.bytes_sent += size_bytes
+
+    # -- receiving ----------------------------------------------------------
+
+    def _receive(self, frame: Frame) -> None:
+        if not self.up:
+            return
+        self.frames_received += 1
+        self._deliver(frame)
+
+
+class Network:
+    """The broadcast LAN connecting all simulated nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        *,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise NetworkError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.sim = sim
+        self.rng = rng
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self._interfaces: Dict[str, Interface] = {}
+        #: node_id -> partition component id; missing means component 0.
+        self._component: Dict[str, int] = {}
+        #: (src, dst) -> latest scheduled arrival: switched Ethernet is
+        #: FIFO per source-destination pair, so a later frame never
+        #: overtakes an earlier one on the same path.  (Totem relies on
+        #: this: the token is forwarded *after* the data messages of the
+        #: same visit and must arrive after them.)
+        self._last_arrival: Dict[tuple, float] = {}
+        self.frames_dropped = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def attach(self, node_id: str, deliver: Callable[[Frame], None]) -> Interface:
+        """Attach a node; ``deliver`` is invoked for each arriving frame."""
+        if node_id in self._interfaces:
+            raise NetworkError(f"node {node_id!r} already attached")
+        iface = Interface(self, node_id, deliver)
+        self._interfaces[node_id] = iface
+        return iface
+
+    def detach(self, node_id: str) -> None:
+        """Remove a node's interface (frames in flight are dropped on
+        arrival)."""
+        iface = self._interfaces.pop(node_id, None)
+        if iface is not None:
+            iface.up = False
+
+    def partition(self, *components) -> None:
+        """Split the network into the given components.
+
+        Each component is an iterable of node ids; unlisted nodes join
+        component 0.  Frames only flow within a component.
+        """
+        self._component = {}
+        for index, group in enumerate(components, start=1):
+            for node_id in group:
+                self._component[node_id] = index
+
+    def heal(self) -> None:
+        """Remove all partitions (every node back in one component)."""
+        self._component = {}
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True if frames currently flow from ``src`` to ``dst``."""
+        return self._component.get(src, 0) == self._component.get(dst, 0)
+
+    # -- transmission ------------------------------------------------------------
+
+    def _transmit(self, frame: Frame) -> None:
+        if frame.dst is not None:
+            targets = [frame.dst] if frame.dst in self._interfaces else []
+        else:
+            targets = list(self._interfaces)
+        for dst in targets:
+            if not self.reachable(frame.src, dst):
+                continue
+            if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+                self.frames_dropped += 1
+                continue
+            delay = self.latency.sample(self.rng, frame.size_bytes)
+            # Loopback delivery of one's own multicast is local (no wire).
+            if dst == frame.src:
+                delay = min(delay, self.latency.propagation_s * 0.1)
+            # Enforce per-(src, dst) FIFO ordering.
+            arrival = self.sim.now + delay
+            key = (frame.src, dst)
+            previous = self._last_arrival.get(key, 0.0)
+            if arrival <= previous:
+                arrival = previous + 1e-9
+            self._last_arrival[key] = arrival
+            iface = self._interfaces[dst]
+            self.sim.schedule(arrival - self.sim.now, iface._receive, frame)

@@ -1,0 +1,254 @@
+"""High-level assembly: the paper's testbed in a few lines.
+
+:class:`Testbed` wires the whole stack together — cluster, one Totem
+processor and group runtime per node, replicated services and clients —
+mirroring the experimental setup of Section 4.2 (four PCs on a quiet
+100 Mbit/s Ethernet, one Totem instance per node, a client on the ring
+leader invoking a three-way actively replicated server).
+
+Example::
+
+    bed = Testbed(seed=42)
+    bed.deploy("timesvc", ClockApp, nodes=["n1", "n2", "n3"],
+               style="active", time_source="cts")
+    client = bed.client("n0")
+    bed.start()
+
+    def scenario():
+        result, latency_us = yield from client.timed_call("timesvc", "get_time")
+        return result
+
+    value = bed.run_process(scenario())
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from .baselines import (
+    LocalClockSource,
+    NtpDisciplinedSource,
+    PrimaryBackupClockSource,
+    install_ntp_daemons,
+)
+from .core import (
+    ConsistentTimeService,
+    DriftCompensation,
+    MODE_ACTIVE,
+    MODE_PRIMARY,
+)
+from .errors import ConfigurationError
+from .replication import (
+    ActiveReplica,
+    Application,
+    GroupRuntime,
+    PassiveReplica,
+    Replica,
+    SemiActiveReplica,
+    TimeSource,
+)
+from .rpc import RpcClient
+from .sim import Cluster, ClusterConfig
+from .totem import TotemConfig, TotemProcessor
+
+#: Replication styles by name.
+STYLES = {
+    "active": ActiveReplica,
+    "passive": PassiveReplica,
+    "semi-active": SemiActiveReplica,
+}
+
+TimeSourceSpec = Union[str, Callable[[Replica], TimeSource]]
+
+
+class Testbed:
+    """A running cluster with Totem and group runtimes on every node."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    def __init__(
+        self,
+        *,
+        num_nodes: int = 4,
+        seed: int = 0,
+        cluster_config: Optional[ClusterConfig] = None,
+        totem_config: Optional[TotemConfig] = None,
+    ):
+        config = cluster_config or ClusterConfig(num_nodes=num_nodes)
+        self.cluster = Cluster(config, seed=seed)
+        self.sim = self.cluster.sim
+        self.totem_config = totem_config or TotemConfig()
+        self.processors: Dict[str, TotemProcessor] = {}
+        self.runtimes: Dict[str, GroupRuntime] = {}
+        static = self.cluster.node_ids
+        for node_id in static:
+            processor = TotemProcessor(
+                self.cluster.node(node_id),
+                self.totem_config,
+                static_membership=static,
+            )
+            self.processors[node_id] = processor
+            self.runtimes[node_id] = GroupRuntime(processor)
+        #: group -> {node_id: Replica}
+        self.services: Dict[str, Dict[str, Replica]] = {}
+        self.clients: Dict[str, RpcClient] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+
+    def deploy(
+        self,
+        group: str,
+        app_factory: Callable[[], Application],
+        nodes: List[str],
+        *,
+        style: str = "active",
+        time_source: TimeSourceSpec = "cts",
+        drift: Optional[DriftCompensation] = None,
+        **style_kwargs,
+    ) -> Dict[str, Replica]:
+        """Deploy one replicated service: one replica per listed node.
+
+        ``time_source`` is ``"cts"`` (consistent time service), one of the
+        baseline names (``"local"``, ``"primary-backup"``, ``"ntp"``), or
+        a factory ``Replica -> TimeSource``.
+        """
+        if group in self.services:
+            raise ConfigurationError(f"group {group!r} already deployed")
+        if style not in STYLES:
+            raise ConfigurationError(
+                f"unknown style {style!r}; choose from {sorted(STYLES)}"
+            )
+        factory = self._time_source_factory(time_source, style, drift)
+        replica_cls = STYLES[style]
+        replicas: Dict[str, Replica] = {}
+        for node_id in nodes:
+            replicas[node_id] = replica_cls(
+                self.runtimes[node_id], group, app_factory(), factory,
+                **style_kwargs,
+            )
+        self.services[group] = replicas
+        if self._started:
+            for replica in replicas.values():
+                replica.start()
+        return replicas
+
+    def add_replica(
+        self,
+        group: str,
+        node_id: str,
+        app_factory: Callable[[], Application],
+        *,
+        style: str = "active",
+        time_source: TimeSourceSpec = "cts",
+        drift: Optional[DriftCompensation] = None,
+        **style_kwargs,
+    ) -> Replica:
+        """Add (or re-add, after a crash) one replica to a running group.
+
+        The new replica recovers via state transfer, including the
+        special CCS round that integrates its clock (Section 3.2).
+        """
+        factory = self._time_source_factory(time_source, style, drift)
+        replica = STYLES[style](
+            self.runtimes[node_id], group, app_factory(), factory,
+            join_existing=True, **style_kwargs,
+        )
+        self.services.setdefault(group, {})[node_id] = replica
+        if self._started:
+            replica.start()
+        return replica
+
+    def client(self, node_id: str, group: Optional[str] = None) -> RpcClient:
+        """Create an (unreplicated) RPC client on ``node_id``."""
+        client = RpcClient(self.runtimes[node_id], group)
+        self.clients[client.group] = client
+        return client
+
+    def install_ntp(self, **daemon_kwargs):
+        """Discipline every node's clock with an NTP-style daemon."""
+        return install_ntp_daemons(
+            self.cluster.nodes.values(),
+            lambda node_id: self.cluster.rngs.stream(f"ntp.{node_id}"),
+            **daemon_kwargs,
+        )
+
+    def _time_source_factory(
+        self,
+        spec: TimeSourceSpec,
+        style: str,
+        drift: Optional[DriftCompensation],
+    ) -> Callable[[Replica], TimeSource]:
+        if callable(spec):
+            return spec
+        if spec == "cts":
+            mode = MODE_ACTIVE if style == "active" else MODE_PRIMARY
+            return lambda replica: ConsistentTimeService(
+                replica, mode=mode, drift=drift
+            )
+        if spec == "local":
+            return LocalClockSource
+        if spec == "ntp":
+            return NtpDisciplinedSource
+        if spec == "primary-backup":
+            return PrimaryBackupClockSource
+        raise ConfigurationError(
+            f"unknown time source {spec!r}; choose 'cts', 'local', 'ntp', "
+            "'primary-backup' or pass a factory"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def start(self, settle: float = 0.2) -> None:
+        """Boot Totem on every node, start all deployed replicas, and run
+        until rings and groups settle (``settle`` simulated seconds)."""
+        if self._started:
+            return
+        self._started = True
+        for processor in self.processors.values():
+            processor.start()
+        for replicas in self.services.values():
+            for replica in replicas.values():
+                replica.start()
+        self.run(settle)
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_process(self, generator, name: str = "scenario"):
+        """Run a scenario generator to completion and return its value."""
+        return self.sim.run_process(generator, name=name)
+
+    def crash(self, node_id: str) -> None:
+        """Fail-stop the node (processes, clock, network all stop)."""
+        self.cluster.node(node_id).crash()
+        for replicas in self.services.values():
+            replicas.pop(node_id, None)
+
+    def recover(self, node_id: str) -> None:
+        """Restart a crashed node with fresh protocol state.
+
+        Fail-stop semantics: all volatile state is gone, so the Totem
+        processor and group runtime are rebuilt from scratch; the node
+        rejoins the ring via the membership protocol.  Re-add replicas
+        with :meth:`add_replica` afterwards — they recover their state
+        via state transfer.
+        """
+        node = self.cluster.node(node_id)
+        node.recover()
+        processor = TotemProcessor(
+            node, self.totem_config, static_membership=self.cluster.node_ids
+        )
+        self.processors[node_id] = processor
+        self.runtimes[node_id] = GroupRuntime(processor)
+        if self._started:
+            processor.start()
+
+    def replicas(self, group: str) -> Dict[str, Replica]:
+        """The live replicas of a group, keyed by node."""
+        return self.services[group]

@@ -1,0 +1,38 @@
+"""Totem single-ring group communication (S5-S6 in DESIGN.md).
+
+A from-scratch reimplementation of the substrate the paper builds on:
+reliable totally-ordered multicast with token-passing ordering,
+retransmission, membership (gather/commit/recover) and the
+primary-component partition model.
+"""
+
+from .api import TotemBus
+from .config import TotemConfig
+from .messages import (
+    CommitMemberInfo,
+    CommitToken,
+    ConfigurationChange,
+    JoinMessage,
+    LostMessage,
+    RegularMessage,
+    RegularToken,
+    RingId,
+)
+from .ring import ProcessorState, ProcessorStats, RingConfig, TotemProcessor
+
+__all__ = [
+    "CommitMemberInfo",
+    "TotemBus",
+    "CommitToken",
+    "ConfigurationChange",
+    "JoinMessage",
+    "LostMessage",
+    "ProcessorState",
+    "ProcessorStats",
+    "RegularMessage",
+    "RegularToken",
+    "RingConfig",
+    "RingId",
+    "TotemConfig",
+    "TotemProcessor",
+]

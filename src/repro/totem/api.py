@@ -1,0 +1,124 @@
+"""A small facade for using Totem directly as an ordered-multicast bus.
+
+The replication layer is the primary consumer of Totem, but the
+substrate is useful on its own — a totally-ordered, membership-aware
+pub/sub bus.  :class:`TotemBus` wires processors onto a cluster and
+gives each node a simple publish/subscribe handle.
+
+Example::
+
+    from repro.sim import Cluster
+    from repro.totem.api import TotemBus
+
+    cluster = Cluster(seed=1)
+    bus = TotemBus(cluster)
+    bus.subscribe("n1", lambda sender, payload: print(sender, payload))
+    bus.start()
+    cluster.run(0.1)
+    bus.publish("n0", {"event": "hello"})
+    cluster.run(0.1)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim.cluster import Cluster
+from .config import TotemConfig
+from .messages import ConfigurationChange
+from .ring import TotemProcessor
+
+#: subscriber callback: (sender_node, payload)
+Subscriber = Callable[[str, Any], None]
+#: membership callback: ConfigurationChange
+MembershipSubscriber = Callable[[ConfigurationChange], None]
+
+
+class TotemBus:
+    """One Totem processor per cluster node, exposed as a pub/sub bus."""
+
+    def __init__(self, cluster: Cluster, config: Optional[TotemConfig] = None):
+        self.cluster = cluster
+        self.config = config or TotemConfig()
+        self.processors: Dict[str, TotemProcessor] = {}
+        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._membership_subscribers: Dict[str, List[MembershipSubscriber]] = {}
+        #: Per-node delivery log: (seq, sender, payload).
+        self.delivered: Dict[str, List[Tuple[int, str, Any]]] = {}
+        static = cluster.node_ids
+        for node_id in static:
+            processor = TotemProcessor(
+                cluster.node(node_id), self.config, static_membership=static
+            )
+            processor.on_deliver = self._make_deliver(node_id)
+            processor.on_config_change = self._make_config(node_id)
+            self.processors[node_id] = processor
+            self.delivered[node_id] = []
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot every processor (they form the initial ring together)."""
+        if self._started:
+            return
+        self._started = True
+        for processor in self.processors.values():
+            processor.start()
+
+    def wait_operational(self, timeout: float = 2.0) -> None:
+        """Run the simulation until every live node's processor is on a
+        ring (raises if that does not happen within ``timeout``)."""
+        sim = self.cluster.sim
+        deadline = sim.now + timeout
+        while sim.now < deadline:
+            live = [
+                p for p in self.processors.values() if p.node.alive
+            ]
+            if live and all(p.is_operational for p in live):
+                return
+            sim.run(until=sim.now + 0.001)
+        raise ConfigurationError("Totem bus failed to become operational")
+
+    # -- pub/sub ------------------------------------------------------------
+
+    def publish(self, node_id: str, payload: Any) -> None:
+        """Multicast ``payload`` into the total order from ``node_id``."""
+        self.processors[node_id].mcast(payload)
+
+    def subscribe(self, node_id: str, callback: Subscriber) -> None:
+        """Deliver every ordered message to ``callback`` on ``node_id``."""
+        self._subscribers.setdefault(node_id, []).append(callback)
+
+    def subscribe_membership(
+        self, node_id: str, callback: MembershipSubscriber
+    ) -> None:
+        """Deliver configuration changes to ``callback`` on ``node_id``."""
+        self._membership_subscribers.setdefault(node_id, []).append(callback)
+
+    # -- internals --------------------------------------------------------------
+
+    def _make_deliver(self, node_id: str):
+        def deliver(msg):
+            self.delivered[node_id].append((msg.seq, msg.sender, msg.payload))
+            for callback in self._subscribers.get(node_id, []):
+                callback(msg.sender, msg.payload)
+
+        return deliver
+
+    def _make_config(self, node_id: str):
+        def config_change(change: ConfigurationChange) -> None:
+            for callback in self._membership_subscribers.get(node_id, []):
+                callback(change)
+
+        return config_change
+
+    # -- introspection ---------------------------------------------------------
+
+    def orders(self) -> Dict[str, List[Any]]:
+        """Per-node delivered payloads, for order comparison."""
+        return {
+            node_id: [payload for _, _, payload in log]
+            for node_id, log in self.delivered.items()
+        }

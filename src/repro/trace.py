@@ -1,0 +1,105 @@
+"""Structured protocol tracing.
+
+Production debugging of a group-communication stack lives and dies by
+its traces.  This module provides a lightweight, zero-cost-when-disabled
+event stream that the protocol layers feed:
+
+* ``round.start`` / ``round.won`` / ``round.suppressed`` — time service;
+* ``membership.gather`` / ``membership.install`` — Totem membership;
+* ``replica.promote`` / ``replica.checkpoint`` / ``state.transfer`` —
+  replication;
+
+Usage::
+
+    from repro import trace
+
+    with trace.capture() as events:
+        ...run a scenario...
+    for event in events:
+        print(event)
+
+    # or stream to a callback:
+    trace.subscribe(print)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    kind: str
+    node: str
+    fields: Dict[str, Any]
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.node}] {self.kind} {details}"
+
+
+class Tracer:
+    """A fan-out sink for trace events.
+
+    Disabled (the default) it is a single attribute check per call site;
+    enabling attaches sinks that receive every event.
+    """
+
+    def __init__(self):
+        self._sinks: List[Callable[[TraceEvent], None]] = []
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._sinks)
+
+    def subscribe(self, sink: Callable[[TraceEvent], None]) -> Callable[[], None]:
+        """Attach a sink; returns an unsubscribe function."""
+        self._sinks.append(sink)
+
+        def unsubscribe() -> None:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+        return unsubscribe
+
+    def emit(self, kind: str, node: str = "?", **fields: Any) -> None:
+        """Record one event (no-op when no sink is attached)."""
+        if not self._sinks:
+            return
+        event = TraceEvent(kind, node, fields)
+        for sink in list(self._sinks):
+            sink(event)
+
+    @contextmanager
+    def capture(
+        self, kinds: Optional[List[str]] = None
+    ) -> Iterator[List[TraceEvent]]:
+        """Collect events for the duration of a ``with`` block.
+
+        ``kinds`` optionally filters by event kind prefix, e.g.
+        ``["round."]`` keeps only time-service round events.
+        """
+        events: List[TraceEvent] = []
+
+        def sink(event: TraceEvent) -> None:
+            if kinds is None or any(event.kind.startswith(k) for k in kinds):
+                events.append(event)
+
+        unsubscribe = self.subscribe(sink)
+        try:
+            yield events
+        finally:
+            unsubscribe()
+
+
+#: The process-wide tracer the protocol layers emit into.
+TRACER = Tracer()
+
+#: Convenience aliases mirroring the module docstring.
+subscribe = TRACER.subscribe
+emit = TRACER.emit
+capture = TRACER.capture

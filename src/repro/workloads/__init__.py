@@ -1,0 +1,52 @@
+"""Experiment workload generators (S15 in DESIGN.md): the paper's two
+measurement applications plus the failover and recovery scenarios."""
+
+from .failover import (
+    FailoverClockApp,
+    FailoverResult,
+    failover_comparison,
+    run_failover_workload,
+)
+from .latency import (
+    LatencyRunResult,
+    PAPER_CPU_PROFILE,
+    TimeServerApp,
+    run_latency_workload,
+)
+from .recovery import RecoveryClockApp, RecoveryResult, run_recovery_workload
+from .throughput import (
+    ThroughputApp,
+    ThroughputPoint,
+    run_throughput_point,
+    run_throughput_sweep,
+)
+from .skew_drift import (
+    ITERATION_CHOICES,
+    ReplicaSeries,
+    SkewDriftApp,
+    SkewDriftResult,
+    run_skew_drift_workload,
+)
+
+__all__ = [
+    "FailoverClockApp",
+    "FailoverResult",
+    "ITERATION_CHOICES",
+    "LatencyRunResult",
+    "PAPER_CPU_PROFILE",
+    "RecoveryClockApp",
+    "RecoveryResult",
+    "ReplicaSeries",
+    "SkewDriftApp",
+    "SkewDriftResult",
+    "ThroughputApp",
+    "ThroughputPoint",
+    "TimeServerApp",
+    "failover_comparison",
+    "run_failover_workload",
+    "run_latency_workload",
+    "run_recovery_workload",
+    "run_skew_drift_workload",
+    "run_throughput_point",
+    "run_throughput_sweep",
+]

@@ -1,0 +1,204 @@
+"""Figure 6 / Section 4.3 workload: skew and drift of the group clock.
+
+Reproduces the paper's second application: one remote invocation
+triggers a sequence of clock-related operations at each server replica;
+between consecutive operations each replica inserts an empty-iteration
+busy loop of 30,000 / 60,000 or 90,000 iterations — chosen at random
+*per replica per round* — producing delays of roughly 60-400 us, "to
+study the behavior of the consistent time service when the synchronizer
+rotates randomly among the server replicas".
+
+Collected per run:
+
+* per-replica round history (group value, physical value, offset) —
+  Figures 6(a), 6(b), 6(c);
+* the synchronizer of every round — rotation statistics;
+* CCS messages transmitted per node — the Section 4.3 duplicate-
+  suppression counts (1 / 9,977 / 22 in the paper's run);
+* group clock vs simulated real time — drift measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import DriftCompensation
+from ..replication import Application
+from ..sim import ClusterConfig, RngRegistry
+from ..testbed import Testbed
+
+#: The paper's three busy-loop lengths (empty iterations).
+ITERATION_CHOICES = (30_000, 60_000, 90_000)
+
+
+class SkewDriftApp(Application):
+    """Performs ``count`` clock operations with random inserted delays."""
+
+    def __init__(self, workload_seed: int = 0):
+        self.workload_seed = workload_seed
+        self._rngs = RngRegistry(workload_seed)
+
+    def run_rounds(self, ctx, count):
+        rng = self._rngs.stream(f"delay.{ctx.node.node_id}")
+        for _ in range(count):
+            iterations = rng.choice(ITERATION_CHOICES)
+            yield ctx.busy_loop(iterations)
+            yield ctx.gettimeofday()
+        return count
+
+
+@dataclass
+class ReplicaSeries:
+    """One replica's per-round measurements (workload rounds only)."""
+
+    node_id: str
+    #: (group_us, physical_us, offset_us) per round.
+    history: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: Simulated real time (seconds) when each value was returned.
+    times_s: List[float] = field(default_factory=list)
+
+    def physical_intervals(self) -> List[int]:
+        """Figure 6(a): interval between consecutive clock operations as
+        seen by the physical hardware clock."""
+        physicals = [p for _, p, _ in self.history]
+        return [b - a for a, b in zip(physicals, physicals[1:])]
+
+    def group_intervals(self) -> List[int]:
+        """Figure 6(a): the same intervals as seen by the group clock."""
+        groups = [g for g, _, _ in self.history]
+        return [b - a for a, b in zip(groups, groups[1:])]
+
+    def offsets(self) -> List[int]:
+        """Figure 6(b): the clock offset after each round."""
+        return [o for _, _, o in self.history]
+
+    def normalized_physical(self) -> List[int]:
+        """Figure 6(c): physical clock normalized to its first reading."""
+        physicals = [p for _, p, _ in self.history]
+        return [p - physicals[0] for p in physicals]
+
+    def normalized_group(self) -> List[int]:
+        """Figure 6(c): group clock normalized to the first round."""
+        groups = [g for g, _, _ in self.history]
+        return [g - groups[0] for g in groups]
+
+
+@dataclass
+class SkewDriftResult:
+    """Outcome of one skew/drift run."""
+
+    rounds: int
+    series: Dict[str, ReplicaSeries] = field(default_factory=dict)
+    #: Synchronizer (winner) of each workload round, in round order.
+    winners: List[str] = field(default_factory=list)
+    #: CCS messages transmitted per node (the Section 4.3 counts).
+    ccs_transmitted: Dict[str, int] = field(default_factory=dict)
+    ccs_suppressed: Dict[str, int] = field(default_factory=dict)
+    rounds_from_buffer: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_transmitted(self) -> int:
+        return sum(self.ccs_transmitted.values())
+
+    def winner_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for winner in self.winners:
+            counts[winner] = counts.get(winner, 0) + 1
+        return counts
+
+    def group_drift_ppm(self) -> float:
+        """Long-run drift of the group clock against simulated real time
+        (negative: the group clock runs slow, as the paper observes)."""
+        series = next(iter(self.series.values()))
+        if len(series.history) < 2:
+            return 0.0
+        group_span = series.history[-1][0] - series.history[0][0]
+        real_span_us = (series.times_s[-1] - series.times_s[0]) * 1e6
+        if real_span_us == 0:
+            return 0.0
+        return (group_span - real_span_us) / real_span_us * 1e6
+
+
+def run_skew_drift_workload(
+    *,
+    rounds: int = 1_000,
+    seed: int = 0,
+    server_nodes: tuple = ("n1", "n2", "n3"),
+    drift: Optional[DriftCompensation] = None,
+    drift_factory=None,
+    clock_drift_ppm_max: float = 50.0,
+) -> SkewDriftResult:
+    """Run the Figure 6 measurement once and collect all series.
+
+    ``drift_factory`` (``Testbed -> DriftCompensation``) builds strategies
+    that need simulation access, e.g. reference steering against the
+    testbed's notion of real time.
+    """
+    bed = Testbed(
+        seed=seed,
+        cluster_config=ClusterConfig(
+            num_nodes=4, clock_drift_ppm_max=clock_drift_ppm_max
+        ),
+    )
+    if drift_factory is not None:
+        drift = drift_factory(bed)
+    bed.deploy(
+        "skewsvc",
+        lambda: SkewDriftApp(workload_seed=seed),
+        list(server_nodes),
+        style="active",
+        time_source="cts",
+        drift=drift,
+    )
+    client = bed.client("n0")
+    bed.start()
+
+    # Baseline: how many rounds each time service committed before the
+    # workload (state-transfer special rounds) — sliced off below.
+    pre_rounds = {
+        nid: len(r.time_source.clock_state.history)
+        for nid, r in bed.replicas("skewsvc").items()
+    }
+    pre_winners = max(
+        len(r.time_source.winners) for r in bed.replicas("skewsvc").values()
+    )
+    pre_sent = {
+        nid: r.time_source.stats.ccs_sent
+        for nid, r in bed.replicas("skewsvc").items()
+    }
+    pre_suppressed = {
+        nid: r.time_source.stats.ccs_suppressed
+        for nid, r in bed.replicas("skewsvc").items()
+    }
+
+    def scenario():
+        result = yield client.call(
+            "skewsvc", "run_rounds", rounds, timeout=10_000.0
+        )
+        assert result.ok, result.error
+        return result.value
+
+    bed.run_process(scenario())
+    bed.run(0.05)
+
+    result = SkewDriftResult(rounds=rounds)
+    for node_id, replica in bed.replicas("skewsvc").items():
+        service = replica.time_source
+        base = pre_rounds[node_id]
+        series = ReplicaSeries(node_id)
+        series.history = list(service.clock_state.history[base:])
+        series.times_s = [t for t, _, _, _ in service.readings[base:]]
+        result.series[node_id] = series
+        result.ccs_transmitted[node_id] = (
+            service.stats.ccs_sent
+            - service.stats.ccs_suppressed
+            - (pre_sent[node_id] - pre_suppressed[node_id])
+        )
+        result.ccs_suppressed[node_id] = (
+            service.stats.ccs_suppressed - pre_suppressed[node_id]
+        )
+        result.rounds_from_buffer[node_id] = service.stats.rounds_from_buffer
+    any_service = next(iter(bed.replicas("skewsvc").values())).time_source
+    result.winners = [w for _, _, w in any_service.winners[pre_winners:]]
+    return result

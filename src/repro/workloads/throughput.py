@@ -1,0 +1,117 @@
+"""EXT-THROUGHPUT workload: sustainable invocation rate.
+
+Every clock-related operation costs one CCS round, and rounds on the
+same logical thread are serialized (the paper: "a thread cannot start a
+new round ... before the current round completes").  The service's
+request throughput is therefore bounded by the round time — roughly one
+token rotation — independent of CPU speed.  This workload drives an
+open-loop client at a fixed offered rate and measures completions and
+latency, with and without the consistent time service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..replication import Application
+from ..sim import ClusterConfig
+from ..testbed import Testbed
+
+
+class ThroughputApp(Application):
+    """Minimal clock-reading servant."""
+
+    WORK_S = 20e-6
+
+    def get_time(self, ctx):
+        yield ctx.compute(self.WORK_S)
+        value = yield ctx.gettimeofday()
+        return value.micros
+
+
+@dataclass
+class ThroughputPoint:
+    """One offered-rate measurement."""
+
+    offered_per_s: float
+    duration_s: float
+    issued: int
+    completed: int
+    mean_latency_us: float
+
+    @property
+    def completed_per_s(self) -> float:
+        return self.completed / self.duration_s
+
+    @property
+    def saturated(self) -> bool:
+        """True when the service could not keep up with the offered rate
+        (completions fall clearly short of issues)."""
+        return self.completed < 0.9 * self.issued
+
+
+def run_throughput_point(
+    *,
+    time_source: str = "cts",
+    offered_per_s: float = 1_000.0,
+    duration_s: float = 0.5,
+    seed: int = 0,
+) -> ThroughputPoint:
+    """Drive an open-loop client at ``offered_per_s`` for ``duration_s``."""
+    bed = Testbed(seed=seed, cluster_config=ClusterConfig(num_nodes=4))
+    bed.deploy("svc", ThroughputApp, ["n1", "n2", "n3"],
+               time_source=time_source)
+    client = bed.client("n0")
+    bed.start()
+
+    interval = 1.0 / offered_per_s
+    issued = 0
+    completions: List[float] = []
+    latencies: List[int] = []
+    start = bed.sim.now
+
+    def on_reply(event, sent_at_us):
+        if event.ok:
+            completions.append(bed.sim.now)
+            latencies.append(client.node.read_clock_us() - sent_at_us)
+
+    def issue():
+        nonlocal issued
+        if bed.sim.now - start >= duration_s:
+            return
+        issued += 1
+        sent_at_us = client.node.read_clock_us()
+        event = client.call("svc", "get_time", timeout=duration_s + 2.0)
+        event._add_callback(lambda ev: on_reply(ev, sent_at_us))
+        bed.sim.schedule(interval, issue)
+
+    issue()
+    bed.run(duration_s + 2.5)  # drain the queue
+
+    return ThroughputPoint(
+        offered_per_s=offered_per_s,
+        duration_s=duration_s,
+        issued=issued,
+        completed=len(completions),
+        mean_latency_us=(sum(latencies) / len(latencies)) if latencies else 0.0,
+    )
+
+
+def run_throughput_sweep(
+    rates,
+    *,
+    time_source: str = "cts",
+    duration_s: float = 0.5,
+    seed: int = 0,
+) -> Dict[float, ThroughputPoint]:
+    """Measure a set of offered rates."""
+    return {
+        rate: run_throughput_point(
+            time_source=time_source,
+            offered_per_s=rate,
+            duration_s=duration_s,
+            seed=seed,
+        )
+        for rate in rates
+    }

@@ -1,0 +1,124 @@
+"""Tests for the client-history consistency checker — unit level plus a
+full-system audit of real histories (CTS clean, baseline dirty)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Operation,
+    audit_history,
+    check_monotonic_register,
+    check_no_duplicates,
+)
+from repro.errors import RpcTimeout
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import ClockApp, make_testbed  # noqa: E402
+
+
+class TestCheckerUnit:
+    def test_clean_history_passes(self):
+        ops = [
+            Operation(0.0, 1.0, 10, "a"),
+            Operation(2.0, 3.0, 20, "b"),
+            Operation(2.5, 4.0, 30, "a"),
+        ]
+        assert check_monotonic_register(ops) is None
+        assert audit_history(ops) == []
+
+    def test_rollback_detected(self):
+        ops = [
+            Operation(0.0, 1.0, 100, "a"),
+            Operation(2.0, 3.0, 50, "b"),  # started after a ended: smaller
+        ]
+        violation = check_monotonic_register(ops)
+        assert violation is not None
+        assert "rolled back" in str(violation)
+
+    def test_concurrent_operations_may_disagree(self):
+        # Overlapping intervals: no real-time order, any values are fine.
+        ops = [
+            Operation(0.0, 5.0, 100, "a"),
+            Operation(1.0, 2.0, 50, "b"),
+        ]
+        assert check_monotonic_register(ops) is None
+
+    def test_duplicate_detected(self):
+        ops = [Operation(0, 1, 7, "a"), Operation(2, 3, 7, "b")]
+        pair = check_no_duplicates(ops)
+        assert pair is not None
+        assert audit_history(ops)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(2.0, 1.0, 5)
+
+    @settings(max_examples=50)
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=10**9),
+            min_size=1, max_size=40, unique=True,
+        )
+    )
+    def test_sorted_sequential_history_always_clean(self, values):
+        ordered = sorted(values)
+        ops = [
+            Operation(float(2 * i), float(2 * i + 1), v, "c")
+            for i, v in enumerate(ordered)
+        ]
+        assert audit_history(ops) == []
+
+
+def record_history(time_source, *, seed, crash=True, calls=6):
+    """Collect a real client history across a primary crash."""
+    bed = make_testbed(seed=seed, epoch_spread_s=30.0)
+    bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], style="passive",
+               time_source=time_source, checkpoint_interval=4)
+    client = bed.client("n0")
+    bed.start(settle=0.3)
+    operations = []
+
+    def do_calls(n):
+        def scenario():
+            for _ in range(n):
+                start = bed.sim.now
+                try:
+                    result, _ = yield from client.timed_call(
+                        "svc", "get_time", timeout=3.0
+                    )
+                except RpcTimeout:
+                    continue
+                if result.ok:
+                    operations.append(
+                        Operation(start, bed.sim.now, result.value, "client")
+                    )
+            return None
+        return bed.run_process(scenario())
+
+    do_calls(calls)
+    if crash:
+        primary = next(nid for nid, r in bed.replicas("svc").items()
+                       if r.is_primary)
+        bed.crash(primary)
+        bed.run(0.6)
+        do_calls(calls)
+    return operations
+
+
+class TestFullSystemAudit:
+    def test_cts_histories_audit_clean(self):
+        for seed in (300, 301, 302):
+            ops = record_history("cts", seed=seed)
+            assert audit_history(ops) == [], f"seed {seed}"
+
+    def test_baseline_histories_fail_audit_somewhere(self):
+        dirty = 0
+        for seed in (300, 301, 302, 303, 304, 305):
+            ops = record_history("primary-backup", seed=seed)
+            if audit_history(ops):
+                dirty += 1
+        assert dirty > 0, "expected at least one dirty baseline history"

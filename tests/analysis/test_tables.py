@@ -1,0 +1,72 @@
+"""Unit tests for table/sparkline formatting."""
+
+from repro.analysis import ascii_series, format_table, sparkline
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["node", "count"], [["n1", 1], ["n222", 9977]], title="CCS"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "CCS"
+        assert "node" in lines[1] and "count" in lines[1]
+        assert lines[3].startswith("n1")
+        assert lines[4].startswith("n222")
+        # Columns align: 'count' header starts where values start.
+        col = lines[1].index("count")
+        assert lines[3][col - 1] == " "
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_downsampling(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_ascii_series_label(self):
+        out = ascii_series([1, 2, 3], label="offsets")
+        assert out.startswith("offsets")
+        assert "[1 .. 3]" in out
+
+
+class TestAsciiPdfPlot:
+    def test_renders_markers_and_axis(self):
+        from repro.analysis import ascii_pdf_plot
+
+        plot = ascii_pdf_plot(
+            {"o": [0.1, 0.5, 0.2], "x": [0.0, 0.2, 0.6]},
+            bin_labels=[0, 100, 200],
+        )
+        assert "o" in plot
+        assert "x" in plot
+        assert "+---" in plot
+        assert "200" in plot
+
+    def test_later_series_draws_on_top(self):
+        from repro.analysis import ascii_pdf_plot
+
+        plot = ascii_pdf_plot(
+            {"o": [1.0], "x": [1.0]}, bin_labels=[0], height=3
+        )
+        # Both peak in the same column; 'x' (later) wins the cell.
+        assert "x" in plot and "o" not in plot
+
+    def test_empty_input(self):
+        from repro.analysis import ascii_pdf_plot
+
+        assert ascii_pdf_plot({}, bin_labels=[]) == "(no data)"

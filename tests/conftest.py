@@ -1,0 +1,6 @@
+"""Make the shared test helpers (``support.py``) importable everywhere."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

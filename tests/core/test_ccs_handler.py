@@ -1,0 +1,73 @@
+"""Unit tests for the per-thread CCS handler."""
+
+import pytest
+
+from repro.core import CCSMessage
+from repro.core.ccs_handler import CCSHandler, PendingRound
+from repro.errors import TimeServiceError
+from repro.sim import Simulator
+
+
+def msg(round_number, value=1000, thread="0:main"):
+    return CCSMessage(thread, round_number, value, 1)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def handler(sim):
+    return CCSHandler(sim, "0:main")
+
+
+class TestRounds:
+    def test_rounds_increment(self, handler):
+        assert handler.next_round() == 1
+        handler.pending = None
+        assert handler.next_round() == 2
+
+    def test_start_round_offset_from_transfer(self, sim):
+        handler = CCSHandler(sim, "0:main", start_round=17)
+        assert handler.next_round() == 18
+
+    def test_concurrent_round_in_same_thread_rejected(self, sim, handler):
+        handler.next_round()
+        handler.pending = PendingRound(1, 0, 1, 0, False, sim.event(), 0.0)
+        with pytest.raises(TimeServiceError, match="still blocked"):
+            handler.next_round()
+
+
+class TestBuffer:
+    def test_recv_appends_in_order(self, handler):
+        handler.recv_CCS_msg(msg(1))
+        handler.recv_CCS_msg(msg(2))
+        assert [m.round_number for m in handler.my_input_buffer] == [1, 2]
+
+    def test_pop_returns_first(self, handler):
+        handler.recv_CCS_msg(msg(1, value=111))
+        handler.recv_CCS_msg(msg(2, value=222))
+        assert handler.pop_message().proposed_micros == 111
+
+    def test_pop_empty_raises(self, handler):
+        with pytest.raises(TimeServiceError, match="empty buffer"):
+            handler.pop_message()
+
+    def test_recv_wakes_waiter_on_empty_buffer_only(self, sim, handler):
+        waiter = handler.wait_for_message()
+        handler.recv_CCS_msg(msg(1))
+        assert waiter.triggered
+        # Second message: buffer non-empty, no new waiter woken (none set).
+        handler.recv_CCS_msg(msg(2))
+
+    def test_double_waiter_rejected(self, handler):
+        handler.wait_for_message()
+        with pytest.raises(TimeServiceError, match="blocked waiter"):
+            handler.wait_for_message()
+
+    def test_drop_through_discards_stale_rounds(self, handler):
+        for r in range(1, 6):
+            handler.recv_CCS_msg(msg(r))
+        assert handler.drop_through(3) == 3
+        assert [m.round_number for m in handler.my_input_buffer] == [4, 5]

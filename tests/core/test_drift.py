@@ -1,0 +1,51 @@
+"""Unit tests for the Section 3.3 drift-compensation strategies."""
+
+import pytest
+
+from repro.core import (
+    MeanDelayCompensation,
+    NoCompensation,
+    ReferenceSteering,
+)
+
+
+class TestNoCompensation:
+    def test_identity(self):
+        strategy = NoCompensation()
+        assert strategy.adjust_offset(-123) == -123
+        assert strategy.adjust_proposal(456) == 456
+
+
+class TestMeanDelay:
+    def test_offset_increased_by_mean_delay(self):
+        strategy = MeanDelayCompensation(mean_delay_us=300)
+        assert strategy.adjust_offset(-1000) == -700
+
+    def test_proposal_untouched(self):
+        strategy = MeanDelayCompensation(mean_delay_us=300)
+        assert strategy.adjust_proposal(5000) == 5000
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            MeanDelayCompensation(mean_delay_us=-1)
+
+
+class TestReferenceSteering:
+    def test_proposal_pulled_toward_reference(self):
+        strategy = ReferenceSteering(lambda: 10_000, proportion=0.1)
+        # proposal 9000, difference +1000, correction +100
+        assert strategy.adjust_proposal(9000) == 9100
+
+    def test_proposal_pulled_down_when_ahead(self):
+        strategy = ReferenceSteering(lambda: 10_000, proportion=0.5)
+        assert strategy.adjust_proposal(11_000) == 10_500
+
+    def test_offset_untouched(self):
+        strategy = ReferenceSteering(lambda: 0, proportion=0.2)
+        assert strategy.adjust_offset(-400) == -400
+
+    def test_invalid_proportion_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceSteering(lambda: 0, proportion=0.0)
+        with pytest.raises(ValueError):
+            ReferenceSteering(lambda: 0, proportion=1.5)

@@ -1,0 +1,117 @@
+"""Failover behaviour of the group clock — the paper's core motivation.
+
+With plain primary/backup clock handling ([9], [3]) a primary failure
+can roll the clock back or jump it forward; the consistent time service
+keeps it strictly monotone and consistent in the same scenarios.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import ClockApp, call_n, make_testbed  # noqa: E402
+
+
+def passive_bed(seed, time_source, epoch_spread_s=30.0):
+    bed = make_testbed(seed=seed, epoch_spread_s=epoch_spread_s)
+    bed.deploy(
+        "svc", ClockApp, ["n1", "n2", "n3"],
+        style="passive", time_source=time_source, checkpoint_interval=5,
+    )
+    client = bed.client("n0")
+    bed.start(settle=0.3)
+    return bed, client
+
+
+def crash_primary(bed):
+    primary = next(nid for nid, r in bed.replicas("svc").items() if r.is_primary)
+    bed.crash(primary)
+    bed.run(0.6)
+
+
+class TestCtsPassiveFailover:
+    def test_clock_monotone_across_primary_crash(self):
+        bed, client = passive_bed(seed=70, time_source="cts")
+        before = call_n(bed, client, "svc", "get_time", 8)
+        crash_primary(bed)
+        after = call_n(bed, client, "svc", "get_time", 8)
+        sequence = before + after
+        assert all(b > a for a, b in zip(sequence, sequence[1:]))
+
+    def test_no_fast_forward_beyond_real_gap(self):
+        """The step across failover stays within the elapsed real time
+        plus a modest drift bound — no multi-second jumps from clock
+        disagreement."""
+        bed, client = passive_bed(seed=71, time_source="cts")
+        before = call_n(bed, client, "svc", "get_time", 3)
+        t_before = bed.sim.now
+        crash_primary(bed)
+        after = call_n(bed, client, "svc", "get_time", 3)
+        t_after = bed.sim.now
+        real_gap_us = (t_after - t_before) * 1e6
+        step = after[0] - before[-1]
+        assert 0 < step < real_gap_us + 50_000
+
+    def test_monotone_across_two_failovers(self):
+        bed, client = passive_bed(seed=72, time_source="cts")
+        sequence = call_n(bed, client, "svc", "get_time", 4)
+        for _ in range(2):
+            crash_primary(bed)
+            sequence += call_n(bed, client, "svc", "get_time", 4)
+        assert all(b > a for a, b in zip(sequence, sequence[1:]))
+
+    def test_semi_active_failover_monotone(self):
+        bed = make_testbed(seed=73, epoch_spread_s=30.0)
+        bed.deploy(
+            "svc", ClockApp, ["n1", "n2", "n3"],
+            style="semi-active", time_source="cts",
+        )
+        client = bed.client("n0")
+        bed.start(settle=0.3)
+        before = call_n(bed, client, "svc", "get_time", 6)
+        crash_primary(bed)
+        after = call_n(bed, client, "svc", "get_time", 6)
+        sequence = before + after
+        assert all(b > a for a, b in zip(sequence, sequence[1:]))
+
+    def test_active_replication_loses_replica_monotone(self):
+        bed = make_testbed(seed=74, epoch_spread_s=30.0)
+        bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], time_source="cts")
+        client = bed.client("n0")
+        bed.start(settle=0.3)
+        before = call_n(bed, client, "svc", "get_time", 6)
+        bed.crash("n1")
+        bed.run(0.5)
+        after = call_n(bed, client, "svc", "get_time", 6)
+        sequence = before + after
+        assert all(b > a for a, b in zip(sequence, sequence[1:]))
+
+
+class TestBaselineExhibitsHazard:
+    def test_primary_backup_can_roll_back(self):
+        """Across many seeds, the primary/backup baseline rolls the clock
+        back (or jumps it far forward) after at least one failover, while
+        the CTS never does — the paper's Section 1 argument."""
+        rollback_seen = False
+        for seed in range(80, 88):
+            bed, client = passive_bed(seed=seed, time_source="primary-backup")
+            before = call_n(bed, client, "svc", "get_time", 4)
+            crash_primary(bed)
+            after = call_n(bed, client, "svc", "get_time", 4)
+            if after[0] <= before[-1]:
+                rollback_seen = True
+                break
+        assert rollback_seen, "expected at least one roll-back in 8 seeds"
+
+    def test_cts_never_rolls_back_same_seeds(self):
+        for seed in range(80, 88):
+            bed, client = passive_bed(seed=seed, time_source="cts")
+            before = call_n(bed, client, "svc", "get_time", 4)
+            crash_primary(bed)
+            after = call_n(bed, client, "svc", "get_time", 4)
+            sequence = before + after
+            assert all(
+                b > a for a, b in zip(sequence, sequence[1:])
+            ), f"roll-back with CTS at seed {seed}"

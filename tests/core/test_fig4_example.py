@@ -1,0 +1,57 @@
+"""The paper's Figure 4 worked example, replayed exactly (unit level).
+
+Values are the figure's times x100 (8:10 -> 810); see also the FIG4
+benchmark, which prints the full comparison table.
+"""
+
+from repro.core import GroupClockState
+
+
+def test_round_1_replica_1_synchronizes():
+    r1, r2, r3 = GroupClockState(), GroupClockState(), GroupClockState()
+    # R1 reads pc=8:10, proposes 8:10 (offset 0), wins.
+    gc = r1.propose(810)
+    assert gc == 810
+    assert r1.commit(gc, 810) == 0
+    assert r2.commit(gc, 815) == -5
+    assert r3.commit(gc, 825) == -15
+
+
+def test_full_three_round_example():
+    states = {"R1": GroupClockState(), "R2": GroupClockState(),
+              "R3": GroupClockState()}
+
+    # Round 1 @ 8:10 — R1 wins.
+    gc = states["R1"].propose(810)
+    assert gc == 810
+    states["R1"].commit(gc, 810)
+    states["R2"].commit(gc, 815)
+    states["R3"].commit(gc, 825)
+    assert states["R1"].offset_us == 0
+    assert states["R2"].offset_us == -5
+    assert states["R3"].offset_us == -15
+
+    # Round 2 @ 8:30 — R2 wins: pc 8:30 + offset -0.05 -> 8:25.
+    gc = states["R2"].propose(830)
+    assert gc == 825
+    states["R1"].commit(gc, 840)
+    states["R2"].commit(gc, 830)
+    states["R3"].commit(gc, 835)
+    assert states["R1"].offset_us == -15
+    assert states["R2"].offset_us == -5
+    assert states["R3"].offset_us == -10
+
+    # Round 3 @ 8:50 — R3 wins: pc 8:50 + offset -0.10 -> 8:40.
+    gc = states["R3"].propose(850)
+    assert gc == 840
+    states["R1"].commit(gc, 860)
+    states["R2"].commit(gc, 855)
+    states["R3"].commit(gc, 850)
+    assert states["R1"].offset_us == -20
+    assert states["R2"].offset_us == -15
+    assert states["R3"].offset_us == -10
+
+
+def test_example_group_clock_is_monotone():
+    # 8:10 -> 8:25 -> 8:40: the figure's group clock strictly increases.
+    assert 810 < 825 < 840

@@ -1,0 +1,40 @@
+"""Unit tests for clock-call interposition (type ids, granularity)."""
+
+import pytest
+
+from repro.core import CLOCK_CALLS, CLOCK_CALLS_BY_ID, resolve_call
+from repro.errors import TimeServiceError
+from repro.sim import ClockValue
+
+
+class TestClockCalls:
+    def test_three_interposed_calls(self):
+        assert set(CLOCK_CALLS) == {"gettimeofday", "time", "ftime"}
+
+    def test_type_ids_unique(self):
+        ids = [call.type_id for call in CLOCK_CALLS.values()]
+        assert len(ids) == len(set(ids))
+
+    def test_reverse_lookup(self):
+        for call in CLOCK_CALLS.values():
+            assert CLOCK_CALLS_BY_ID[call.type_id] is call
+
+    def test_gettimeofday_microsecond_granularity(self):
+        call = resolve_call("gettimeofday")
+        assert call.quantize(1_234_567) == 1_234_567
+
+    def test_ftime_millisecond_granularity(self):
+        call = resolve_call("ftime")
+        assert call.quantize(1_234_567) == 1_234_000
+
+    def test_time_second_granularity(self):
+        call = resolve_call("time")
+        assert call.quantize(1_234_567) == 1_000_000
+
+    def test_quantize_value(self):
+        call = resolve_call("ftime")
+        assert call.quantize_value(ClockValue(999_999)) == ClockValue(999_000)
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(TimeServiceError, match="unknown clock-related call"):
+            resolve_call("clock_gettime")

@@ -1,0 +1,27 @@
+"""Unit tests for the fault-tolerant protocol envelope."""
+
+from repro.replication import MessageHeader, MsgType, make_envelope
+
+
+class TestMessageHeader:
+    def test_message_id_fields(self):
+        header = MessageHeader(MsgType.REQUEST, "cli", "srv", 3, 17)
+        assert header.message_id == ("cli", "srv", 3, 17)
+
+    def test_ccs_header_uses_same_group(self):
+        env = make_envelope(MsgType.CCS, "grp", "grp", 0, 42, "n1")
+        assert env.header.src_grp == env.header.dst_grp == "grp"
+        # For a CCS message the msg_seq_num carries the round number.
+        assert env.header.msg_seq_num == 42
+
+    def test_wire_size_includes_body(self):
+        small = make_envelope(MsgType.REQUEST, "a", "b", 1, 1, "n0")
+        assert small.wire_size() > 40
+
+    def test_envelope_is_frozen(self):
+        env = make_envelope(MsgType.REPLY, "a", "b", 1, 1, "n0")
+        try:
+            env.sender = "other"
+            assert False, "should be immutable"
+        except AttributeError:
+            pass

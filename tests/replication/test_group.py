@@ -1,0 +1,168 @@
+"""Tests for the group layer: views, joins, sync, membership pruning."""
+
+import pytest
+
+from repro.replication import MsgType, make_envelope
+from repro.totem import TotemConfig, TotemProcessor
+from repro.replication.group import GroupRuntime
+from repro.sim import Cluster, ClusterConfig
+
+
+@pytest.fixture
+def stack():
+    cluster = Cluster(ClusterConfig(num_nodes=4), seed=0)
+    static = cluster.node_ids
+    runtimes = {}
+    for node_id in static:
+        proc = TotemProcessor(
+            cluster.node(node_id), TotemConfig(), static_membership=static
+        )
+        runtimes[node_id] = GroupRuntime(proc)
+        proc.start()
+    cluster.sim.run(until=0.1)
+    return cluster, runtimes
+
+
+def run(cluster, duration):
+    cluster.sim.run(until=cluster.sim.now + duration)
+
+
+class TestViews:
+    def test_join_order_defines_view(self, stack):
+        cluster, runtimes = stack
+        for node_id in ["n2", "n1", "n3"]:
+            runtimes[node_id].endpoint("grp").join()
+            run(cluster, 0.01)
+        for node_id in ["n1", "n2", "n3"]:
+            view = runtimes[node_id].endpoint("grp").view
+            assert view.members == ("n2", "n1", "n3")
+            assert view.primary == "n2"
+
+    def test_all_nodes_track_views_even_without_endpoint(self, stack):
+        cluster, runtimes = stack
+        runtimes["n1"].endpoint("grp").join()
+        run(cluster, 0.05)
+        # n0 never joined but creates the endpoint later: view is current.
+        view = runtimes["n0"].endpoint("grp").view
+        assert view.members == ("n1",)
+
+    def test_is_primary_flag(self, stack):
+        cluster, runtimes = stack
+        runtimes["n1"].endpoint("grp").join()
+        runtimes["n2"].endpoint("grp").join()
+        run(cluster, 0.05)
+        assert runtimes["n1"].endpoint("grp").is_primary
+        assert not runtimes["n2"].endpoint("grp").is_primary
+
+    def test_leave_updates_view(self, stack):
+        cluster, runtimes = stack
+        runtimes["n1"].endpoint("grp").join()
+        runtimes["n2"].endpoint("grp").join()
+        run(cluster, 0.05)
+        runtimes["n1"].endpoint("grp").leave()
+        run(cluster, 0.05)
+        assert runtimes["n2"].endpoint("grp").view.members == ("n2",)
+        assert runtimes["n2"].endpoint("grp").is_primary
+
+    def test_view_change_callbacks_fire(self, stack):
+        cluster, runtimes = stack
+        views = []
+        endpoint = runtimes["n1"].endpoint("grp")
+        endpoint.on_view_change = views.append
+        endpoint.join()
+        run(cluster, 0.05)
+        runtimes["n2"].endpoint("grp").join()
+        run(cluster, 0.05)
+        assert [v.members for v in views] == [("n1",), ("n1", "n2")]
+
+    def test_crash_prunes_member_from_view(self, stack):
+        cluster, runtimes = stack
+        for node_id in ["n1", "n2", "n3"]:
+            runtimes[node_id].endpoint("grp").join()
+            run(cluster, 0.01)  # serialize joins into the total order
+        run(cluster, 0.05)
+        cluster.node("n1").crash()
+        run(cluster, 0.3)
+        view = runtimes["n2"].endpoint("grp").view
+        assert view.members == ("n2", "n3")
+        assert runtimes["n2"].endpoint("grp").is_primary
+
+
+class TestMessaging:
+    def test_messages_routed_by_destination_group(self, stack):
+        cluster, runtimes = stack
+        received = {"grp": [], "other": []}
+        for name in received:
+            ep = runtimes["n2"].endpoint(name)
+            ep.on_message = (
+                lambda env, _name=name: received[_name].append(env.body)
+            )
+        runtimes["n1"].endpoint("grp").join()
+        run(cluster, 0.05)
+        runtimes["n1"].endpoint("grp").mcast(
+            make_envelope(MsgType.APP, "grp", "grp", 0, 1, "n1", body="hello")
+        )
+        run(cluster, 0.05)
+        assert received["grp"] == ["hello"]
+        assert received["other"] == []
+
+    def test_sender_receives_own_group_message(self, stack):
+        cluster, runtimes = stack
+        got = []
+        ep = runtimes["n1"].endpoint("grp")
+        ep.on_message = lambda env: got.append(env.body)
+        ep.join()
+        run(cluster, 0.05)
+        ep.mcast(make_envelope(MsgType.APP, "grp", "grp", 0, 1, "n1", body="self"))
+        run(cluster, 0.05)
+        assert got == ["self"]
+
+    def test_same_delivery_order_across_nodes(self, stack):
+        cluster, runtimes = stack
+        logs = {}
+        for node_id in ["n1", "n2", "n3"]:
+            ep = runtimes[node_id].endpoint("grp")
+            logs[node_id] = []
+            ep.on_message = (
+                lambda env, nid=node_id: logs[nid].append(env.body)
+            )
+        runtimes["n1"].endpoint("grp").join()
+        run(cluster, 0.05)
+        for i in range(10):
+            sender = ["n1", "n2", "n3"][i % 3]
+            runtimes[sender].endpoint("grp").mcast(
+                make_envelope(MsgType.APP, "grp", "grp", 0, i, sender, body=i)
+            )
+        run(cluster, 0.1)
+        assert logs["n1"] == logs["n2"] == logs["n3"]
+        assert sorted(logs["n1"]) == list(range(10))
+
+
+class TestLateViewSync:
+    def test_late_totem_joiner_converges_via_view_sync(self):
+        """A node that joins the ring after group joins were delivered
+        still converges to the correct member order."""
+        cluster = Cluster(ClusterConfig(num_nodes=4), seed=1)
+        static = cluster.node_ids
+        procs, runtimes = {}, {}
+        for node_id in static:
+            procs[node_id] = TotemProcessor(
+                cluster.node(node_id), TotemConfig(), static_membership=static
+            )
+            runtimes[node_id] = GroupRuntime(procs[node_id])
+        for node_id in ["n0", "n1", "n2"]:
+            procs[node_id].start()
+        cluster.sim.run(until=0.1)
+        runtimes["n2"].endpoint("grp").join()
+        cluster.sim.run(until=0.15)
+        runtimes["n1"].endpoint("grp").join()
+        cluster.sim.run(until=0.2)
+        # n3 boots late and hosts a fresh endpoint.
+        procs["n3"].start()
+        cluster.sim.run(until=0.5)
+        runtimes["n3"].endpoint("grp").join()
+        cluster.sim.run(until=0.8)
+        view = runtimes["n3"].endpoint("grp").view
+        assert view.members == ("n2", "n1", "n3")
+        for node_id in ["n1", "n2"]:
+            assert runtimes[node_id].endpoint("grp").view.members == view.members

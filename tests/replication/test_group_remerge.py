@@ -1,0 +1,74 @@
+"""Group view reconvergence across partition and remerge."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import CounterApp, call_n, make_testbed  # noqa: E402
+
+
+class TestViewReconvergence:
+    def test_views_identical_after_remerge(self):
+        bed = make_testbed(seed=230)
+        bed.deploy("svc", CounterApp, ["n1", "n2", "n3"], time_source="local")
+        bed.start()
+        bed.cluster.network.partition({"n0", "n1", "n2"}, {"n3"})
+        bed.run(0.4)
+        # Split views: majority dropped n3; n3 kept only itself.
+        majority_view = bed.replicas("svc")["n1"].endpoint.view.members
+        minority_view = bed.replicas("svc")["n3"].endpoint.view.members
+        assert set(majority_view) == {"n1", "n2"}
+        assert set(minority_view) == {"n3"}
+        bed.cluster.network.heal()
+        bed.run(1.5)
+        views = {
+            nid: r.endpoint.view.members
+            for nid, r in bed.replicas("svc").items()
+        }
+        members_sets = {frozenset(v) for v in views.values()}
+        assert members_sets == {frozenset({"n1", "n2", "n3"})}
+        orders = set(views.values())
+        assert len(orders) == 1, f"member order diverged: {views}"
+
+    def test_primary_identical_after_remerge(self):
+        bed = make_testbed(seed=231)
+        bed.deploy(
+            "svc", CounterApp, ["n1", "n2", "n3"],
+            style="passive", time_source="local",
+        )
+        client = bed.client("n0")
+        bed.start(settle=0.3)
+        call_n(bed, client, "svc", "increment", 2)
+        bed.cluster.network.partition({"n0", "n1", "n2"}, {"n3"})
+        bed.run(0.4)
+        bed.cluster.network.heal()
+        bed.run(1.5)
+        primaries = {
+            nid: r.endpoint.view.primary
+            for nid, r in bed.replicas("svc").items()
+        }
+        assert len(set(primaries.values())) == 1, primaries
+        # And the agreed primary still serves.
+        values = call_n(bed, client, "svc", "increment", 2)
+        assert values == [3, 4]
+
+    def test_repeated_partition_cycles(self):
+        bed = make_testbed(seed=232)
+        bed.deploy("svc", CounterApp, ["n1", "n2", "n3"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        total = 0
+        for cycle in range(3):
+            total += 2
+            call_n(bed, client, "svc", "increment", 2)
+            bed.cluster.network.partition({"n0", "n1", "n2"}, {"n3"})
+            bed.run(0.4)
+            bed.cluster.network.heal()
+            bed.run(1.5)
+        values = call_n(bed, client, "svc", "increment", 1)
+        assert values == [total + 1]
+        bed.run(0.3)
+        counts = {nid: r.app.count for nid, r in bed.replicas("svc").items()}
+        assert set(counts.values()) == {total + 1}, counts

@@ -1,0 +1,190 @@
+"""Tests for the active / passive / semi-active replication styles."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import ClockApp, CounterApp, call_n, make_testbed  # noqa: E402
+
+
+class TestActive:
+    def test_every_replica_processes(self):
+        bed = make_testbed(seed=1)
+        bed.deploy("svc", CounterApp, ["n1", "n2", "n3"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        values = call_n(bed, client, "svc", "increment", 5)
+        assert values == [1, 2, 3, 4, 5]
+        for replica in bed.replicas("svc").values():
+            assert replica.app.count == 5
+            assert replica.stats.requests_processed == 5
+
+    def test_all_replicas_reply_first_wins(self):
+        bed = make_testbed(seed=2)
+        bed.deploy("svc", CounterApp, ["n1", "n2", "n3"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 4)
+        assert client.stats.replies_first == 4
+        # The two losing replicas' replies arrive as duplicates.
+        bed.run(0.05)
+        assert client.stats.replies_duplicate == 8
+
+    def test_service_survives_replica_crash(self):
+        bed = make_testbed(seed=3)
+        bed.deploy("svc", CounterApp, ["n1", "n2", "n3"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 3)
+        bed.crash("n2")
+        bed.run(0.3)
+        values = call_n(bed, client, "svc", "increment", 2)
+        assert values == [4, 5]
+
+    def test_unknown_method_returns_error(self):
+        bed = make_testbed(seed=4)
+        bed.deploy("svc", CounterApp, ["n1"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+
+        def scenario():
+            result = yield client.call("svc", "no_such_method")
+            return result
+
+        result = bed.run_process(scenario())
+        assert not result.ok
+        assert "NoSuchMethod" in result.error
+
+    def test_app_exception_propagates_as_error(self):
+        class Exploding(CounterApp):
+            def boom(self, ctx):
+                yield ctx.compute(1e-6)
+                raise ValueError("deterministic failure")
+
+        bed = make_testbed(seed=5)
+        bed.deploy("svc", Exploding, ["n1", "n2"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+
+        def scenario():
+            result = yield client.call("svc", "boom")
+            return result
+
+        result = bed.run_process(scenario())
+        assert not result.ok
+        assert "ValueError" in result.error
+
+
+class TestPassive:
+    def test_only_primary_processes_and_replies(self):
+        bed = make_testbed(seed=6)
+        bed.deploy(
+            "svc", CounterApp, ["n1", "n2", "n3"],
+            style="passive", time_source="local",
+        )
+        client = bed.client("n0")
+        bed.start()
+        values = call_n(bed, client, "svc", "increment", 6)
+        assert values == [1, 2, 3, 4, 5, 6]
+        bed.run(0.05)
+        replicas = bed.replicas("svc")
+        primary = next(r for r in replicas.values() if r.is_primary)
+        backups = [r for r in replicas.values() if not r.is_primary]
+        assert primary.stats.requests_processed == 6
+        for backup in backups:
+            assert backup.stats.requests_processed == 0
+            assert backup.stats.requests_logged == 6
+        assert client.stats.replies_duplicate == 0
+
+    def test_checkpoints_truncate_backup_logs(self):
+        bed = make_testbed(seed=7)
+        bed.deploy(
+            "svc", CounterApp, ["n1", "n2"],
+            style="passive", time_source="local", checkpoint_interval=5,
+        )
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 10)
+        bed.run(0.05)
+        replicas = bed.replicas("svc")
+        backup = next(r for r in replicas.values() if not r.is_primary)
+        assert backup.stats.checkpoints_applied >= 2
+        assert backup.app.count == 10  # checkpointed state caught up
+        assert all(index > backup.processed_index for index, _ in backup.request_log)
+
+    def test_failover_preserves_state_via_replay(self):
+        bed = make_testbed(seed=8)
+        bed.deploy(
+            "svc", CounterApp, ["n1", "n2", "n3"],
+            style="passive", time_source="local", checkpoint_interval=4,
+        )
+        client = bed.client("n0")
+        bed.start()
+        values = call_n(bed, client, "svc", "increment", 7)
+        assert values[-1] == 7
+        primary = next(
+            nid for nid, r in bed.replicas("svc").items() if r.is_primary
+        )
+        bed.crash(primary)
+        bed.run(0.5)
+        new_primary = next(r for r in bed.replicas("svc").values() if r.is_primary)
+        assert new_primary.stats.promotions == 1
+        values = call_n(bed, client, "svc", "increment", 3)
+        # No lost or doubled increments: replay exactly bridged the gap.
+        assert values == [8, 9, 10]
+
+    def test_double_failover(self):
+        bed = make_testbed(seed=9)
+        bed.deploy(
+            "svc", CounterApp, ["n1", "n2", "n3"],
+            style="passive", time_source="local", checkpoint_interval=3,
+        )
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 5)
+        for _ in range(2):
+            primary = next(
+                nid for nid, r in bed.replicas("svc").items() if r.is_primary
+            )
+            bed.crash(primary)
+            bed.run(0.5)
+        values = call_n(bed, client, "svc", "increment", 1)
+        assert values == [6]
+
+
+class TestSemiActive:
+    def test_all_process_only_primary_replies(self):
+        bed = make_testbed(seed=10)
+        bed.deploy(
+            "svc", CounterApp, ["n1", "n2", "n3"],
+            style="semi-active", time_source="local",
+        )
+        client = bed.client("n0")
+        bed.start()
+        values = call_n(bed, client, "svc", "increment", 5)
+        assert values == [1, 2, 3, 4, 5]
+        bed.run(0.05)
+        for replica in bed.replicas("svc").values():
+            assert replica.stats.requests_processed == 5
+            assert replica.app.count == 5
+        assert client.stats.replies_duplicate == 0
+
+    def test_failover_is_hot(self):
+        """Semi-active backups are hot: no replay needed on failover."""
+        bed = make_testbed(seed=11)
+        bed.deploy(
+            "svc", CounterApp, ["n1", "n2", "n3"],
+            style="semi-active", time_source="local",
+        )
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 4)
+        primary = next(
+            nid for nid, r in bed.replicas("svc").items() if r.is_primary
+        )
+        bed.crash(primary)
+        bed.run(0.4)
+        values = call_n(bed, client, "svc", "increment", 2)
+        assert values == [5, 6]

@@ -1,0 +1,110 @@
+"""Tests for the RPC client: calls, replies, dedup, timeouts."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import RpcTimeout
+from repro.rpc import Invocation, Result, unwrap
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import CounterApp, call_n, make_testbed  # noqa: E402
+
+
+class TestMessages:
+    def test_invocation_repr(self):
+        inv = Invocation("get_time", (1, "x"))
+        assert "get_time" in str(inv)
+
+    def test_result_ok(self):
+        assert Result(value=42).ok
+        assert not Result(error="Boom").ok
+
+    def test_unwrap_value(self):
+        assert unwrap(Result(value=7)) == 7
+
+    def test_unwrap_error_raises(self):
+        with pytest.raises(RuntimeError, match="Boom"):
+            unwrap(Result(error="Boom"))
+
+
+class TestCalls:
+    def test_basic_call(self):
+        bed = make_testbed(seed=30)
+        bed.deploy("svc", CounterApp, ["n1", "n2"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        assert call_n(bed, client, "svc", "increment", 1) == [1]
+
+    def test_sequential_calls_get_sequence_numbers(self):
+        bed = make_testbed(seed=31)
+        bed.deploy("svc", CounterApp, ["n1"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 3)
+        assert client.stats.calls == 3
+        assert client.stats.replies_first == 3
+
+    def test_duplicate_replies_counted_not_delivered(self):
+        bed = make_testbed(seed=32)
+        bed.deploy("svc", CounterApp, ["n1", "n2", "n3"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 2)
+        bed.run(0.1)
+        assert client.stats.replies_first == 2
+        assert client.stats.replies_duplicate == 4
+
+    def test_latency_measured_positive(self):
+        bed = make_testbed(seed=33)
+        bed.deploy("svc", CounterApp, ["n1", "n2"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 5)
+        assert len(client.stats.latencies_us) == 5
+        assert all(lat > 0 for lat in client.stats.latencies_us)
+
+    def test_timeout_when_no_server(self):
+        bed = make_testbed(seed=34)
+        client = bed.client("n0")
+        bed.start()
+
+        def scenario():
+            try:
+                yield client.call("ghost-group", "anything", timeout=0.05)
+            except RpcTimeout:
+                return "timed out"
+            return "unexpected reply"
+
+        assert bed.run_process(scenario()) == "timed out"
+        assert client.stats.timeouts == 1
+
+    def test_two_clients_do_not_interfere(self):
+        bed = make_testbed(seed=35)
+        bed.deploy("svc", CounterApp, ["n1"], time_source="local")
+        client_a = bed.client("n0", "client-a")
+        client_b = bed.client("n2", "client-b")
+        bed.start()
+
+        def scenario():
+            result_a = yield client_a.call("svc", "increment")
+            result_b = yield client_b.call("svc", "increment")
+            return (result_a.value, result_b.value)
+
+        assert bed.run_process(scenario()) == (1, 2)
+
+    def test_call_to_multiple_groups(self):
+        bed = make_testbed(seed=36)
+        bed.deploy("alpha", CounterApp, ["n1"], time_source="local")
+        bed.deploy("beta", CounterApp, ["n2"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+
+        def scenario():
+            first = yield client.call("alpha", "increment")
+            second = yield client.call("beta", "increment")
+            return (first.value, second.value)
+
+        # Separate groups have separate state.
+        assert bed.run_process(scenario()) == (1, 1)

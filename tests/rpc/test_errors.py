@@ -1,0 +1,84 @@
+"""RPC error-path tests: bad arguments, dead groups, suspended groups."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import RpcTimeout
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import CounterApp, call_n, make_testbed  # noqa: E402
+
+
+class TestArgumentErrors:
+    def test_wrong_arity_returns_error_result(self):
+        bed = make_testbed(seed=250)
+        bed.deploy("svc", CounterApp, ["n1", "n2"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+
+        def scenario():
+            result = yield client.call("svc", "increment", 1, 2, 3, 4)
+            return result
+
+        result = bed.run_process(scenario())
+        assert not result.ok
+        assert "TypeError" in result.error
+
+    def test_error_replies_are_deterministic_across_replicas(self):
+        bed = make_testbed(seed=251)
+        bed.deploy("svc", CounterApp, ["n1", "n2", "n3"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+
+        def scenario():
+            result = yield client.call("svc", "increment", "not-a-number")
+            return result
+
+        result = bed.run_process(scenario())
+        assert not result.ok
+        bed.run(0.1)
+        # Every replica failed the same way and none diverged.
+        for replica in bed.replicas("svc").values():
+            assert replica.app.count == 0
+        # State still consistent for later valid calls.
+        assert call_n(bed, client, "svc", "increment", 1) == [1]
+
+
+class TestDeadGroup:
+    def test_all_replicas_crashed_times_out(self):
+        bed = make_testbed(seed=252)
+        bed.deploy("svc", CounterApp, ["n1"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 1)
+        bed.crash("n1")
+        bed.run(0.4)
+
+        def scenario():
+            try:
+                yield client.call("svc", "increment", timeout=0.3)
+            except RpcTimeout:
+                return "dead"
+            return "alive"
+
+        assert bed.run_process(scenario()) == "dead"
+
+    def test_calls_resume_after_group_resurrected(self):
+        bed = make_testbed(seed=253)
+        bed.deploy("svc", CounterApp, ["n1", "n2"], time_source="local")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "increment", 2)
+        bed.crash("n1")
+        bed.crash("n2")
+        bed.run(0.5)
+        bed.recover("n1")
+        bed.run(0.5)
+        bed.add_replica("svc", "n1", CounterApp, time_source="local")
+        bed.run(1.5)
+        # Total group failure: state restarts from scratch (the founder
+        # fallback), which is the correct fail-stop semantics.
+        values = call_n(bed, client, "svc", "increment", 1)
+        assert values == [1]

@@ -1,0 +1,89 @@
+"""Tests for declarative fault injection."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import FaultPlan
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import ClockApp, call_n, make_testbed  # noqa: E402
+
+
+class TestFaultPlanConstruction:
+    def test_fluent_building(self):
+        plan = (
+            FaultPlan()
+            .crash("n1", at=0.01)
+            .partition({"n0"}, {"n2", "n3"}, at=0.02)
+            .heal(at=0.03)
+            .recover("n1", at=0.04)
+        )
+        assert [e.kind for e in plan.events] == [
+            "crash", "partition", "heal", "recover",
+        ]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan().crash("n1", at=-1.0)
+
+    def test_cannot_extend_after_arming(self):
+        bed = make_testbed(seed=160)
+        plan = FaultPlan().crash("n1", at=0.01).arm(bed)
+        with pytest.raises(ConfigurationError):
+            plan.crash("n2", at=0.02)
+
+    def test_double_arm_rejected(self):
+        bed = make_testbed(seed=161)
+        plan = FaultPlan().heal(at=0.01)
+        plan.arm(bed)
+        with pytest.raises(ConfigurationError):
+            plan.arm(bed)
+
+
+class TestInjection:
+    def test_crash_injected_at_time(self):
+        bed = make_testbed(seed=162)
+        bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], time_source="local")
+        bed.start()
+        plan = FaultPlan().crash("n2", at=0.05).arm(bed)
+        assert bed.cluster.node("n2").alive
+        bed.run(0.1)
+        assert not bed.cluster.node("n2").alive
+        assert plan.done
+
+    def test_partition_and_heal(self):
+        bed = make_testbed(seed=163)
+        bed.start()
+        plan = (
+            FaultPlan()
+            .partition({"n0", "n1"}, {"n2", "n3"}, at=0.01)
+            .heal(at=0.05)
+            .arm(bed)
+        )
+        bed.run(0.02)
+        assert not bed.cluster.network.reachable("n0", "n2")
+        bed.run(0.08)
+        assert bed.cluster.network.reachable("n0", "n2")
+        assert plan.done
+
+    def test_crash_recover_cycle_service_survives(self):
+        bed = make_testbed(seed=164)
+        bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], time_source="cts")
+        client = bed.client("n0")
+        bed.start()
+        before = call_n(bed, client, "svc", "get_time", 3)
+        FaultPlan().crash("n3", at=0.01).recover("n3", at=0.5).arm(bed)
+        bed.run(1.2)
+        after = call_n(bed, client, "svc", "get_time", 3)
+        sequence = before + after
+        assert all(b > a for a, b in zip(sequence, sequence[1:]))
+
+    def test_custom_callback(self):
+        bed = make_testbed(seed=165)
+        fired = []
+        FaultPlan().call(lambda: fired.append(bed.sim.now), at=0.02).arm(bed)
+        bed.run(0.05)
+        assert fired == [pytest.approx(0.02)]

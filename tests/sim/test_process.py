@@ -1,0 +1,157 @@
+"""Unit tests for Store, Signal and Lock coordination primitives."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.process import Lock, Signal, Store
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        store.put("a")
+
+        def proc():
+            item = yield store.get()
+            return item
+
+        assert sim.run_process(proc()) == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def producer():
+            yield sim.timeout(2.0)
+            store.put("late")
+
+        def consumer():
+            item = yield store.get()
+            return (item, sim.now)
+
+        sim.process(producer())
+        assert sim.run_process(consumer()) == ("late", 2.0)
+
+    def test_fifo_ordering_of_items(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.put(i)
+
+        def consumer():
+            got = []
+            for _ in range(5):
+                got.append((yield store.get()))
+            return got
+
+        assert sim.run_process(consumer()) == [0, 1, 2, 3, 4]
+
+    def test_fifo_ordering_of_getters(self, sim):
+        store = Store(sim)
+        order = []
+
+        def consumer(tag):
+            item = yield store.get()
+            order.append((tag, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+        sim.run(until=1.0)
+        store.put("x")
+        store.put("y")
+        sim.run()
+        assert order == [("first", "x"), ("second", "y")]
+
+    def test_len_and_peek_and_clear(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.peek() == 1
+        assert store.clear() == [1, 2]
+        assert len(store) == 0
+
+
+class TestSignal:
+    def test_fire_wakes_all_waiters(self, sim):
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(tag):
+            value = yield signal.wait()
+            woken.append((tag, value, sim.now))
+
+        sim.process(waiter("a"))
+        sim.process(waiter("b"))
+        sim.schedule(3.0, signal.fire, 42)
+        sim.run()
+        assert woken == [("a", 42, 3.0), ("b", 42, 3.0)]
+
+    def test_fire_returns_woken_count(self, sim):
+        signal = Signal(sim)
+
+        def waiter():
+            yield signal.wait()
+
+        sim.process(waiter())
+        sim.run(until=0.1)
+        assert signal.waiting == 1
+        assert signal.fire() == 1
+        assert signal.fire() == 0
+
+    def test_no_memory_between_fires(self, sim):
+        signal = Signal(sim)
+        signal.fire("lost")
+        woken = []
+
+        def waiter():
+            value = yield signal.wait()
+            woken.append(value)
+
+        sim.process(waiter())
+        sim.schedule(1.0, signal.fire, "second")
+        sim.run()
+        assert woken == ["second"]
+
+
+class TestLock:
+    def test_mutual_exclusion(self, sim):
+        lock = Lock(sim)
+        trace = []
+
+        def worker(tag, hold):
+            yield lock.acquire()
+            trace.append(("enter", tag, sim.now))
+            yield sim.timeout(hold)
+            trace.append(("exit", tag, sim.now))
+            lock.release()
+
+        sim.process(worker("a", 2.0))
+        sim.process(worker("b", 1.0))
+        sim.run()
+        assert trace == [
+            ("enter", "a", 0.0),
+            ("exit", "a", 2.0),
+            ("enter", "b", 2.0),
+            ("exit", "b", 3.0),
+        ]
+
+    def test_release_unheld_lock_raises(self, sim):
+        lock = Lock(sim)
+        with pytest.raises(RuntimeError):
+            lock.release()
+
+    def test_locked_property(self, sim):
+        lock = Lock(sim)
+        assert not lock.locked
+
+        def worker():
+            yield lock.acquire()
+            lock.release()
+
+        sim.process(worker())
+        sim.run()
+        assert not lock.locked

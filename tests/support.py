@@ -1,0 +1,96 @@
+"""Shared applications and helpers for the upper-layer test suites."""
+
+from typing import List, Optional
+
+from repro import Application, Testbed
+from repro.sim import ClusterConfig
+from repro.totem import TotemConfig
+
+
+class ClockApp(Application):
+    """The paper's measurement server: returns the current time.
+
+    'The client invokes a remote method that returns the current time in
+    two CORBA longs.  The server simply calls gettimeofday()' (§4.2).
+    """
+
+    def __init__(self, work_s: float = 20e-6):
+        self.work_s = work_s
+
+    def get_time(self, ctx):
+        yield ctx.compute(self.work_s)
+        value = yield ctx.gettimeofday()
+        return value.micros
+
+    def get_time_coarse(self, ctx):
+        value = yield ctx.time()
+        return value.micros
+
+    def get_time_ms(self, ctx):
+        value = yield ctx.ftime()
+        return value.micros
+
+
+class CounterApp(Application):
+    """Stateful app for checkpoint / state-transfer tests."""
+
+    def __init__(self):
+        self.count = 0
+        self.stamps: List[int] = []
+
+    def increment(self, ctx, amount=1):
+        yield ctx.compute(10e-6)
+        self.count += amount
+        return self.count
+
+    def stamped_increment(self, ctx):
+        value = yield ctx.gettimeofday()
+        self.count += 1
+        self.stamps.append(value.micros)
+        return (self.count, value.micros)
+
+    def read(self, ctx):
+        yield ctx.compute(1e-6)
+        return self.count
+
+    def get_state(self):
+        return {"count": self.count, "stamps": list(self.stamps)}
+
+    def set_state(self, state):
+        self.count = state["count"]
+        self.stamps = list(state["stamps"])
+
+
+def make_testbed(
+    *,
+    seed: int = 0,
+    num_nodes: int = 4,
+    epoch_spread_s: float = 10.0,
+    loss_rate: float = 0.0,
+    drift_ppm_max: float = 50.0,
+    totem_config: Optional[TotemConfig] = None,
+) -> Testbed:
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        clock_epoch_spread_s=epoch_spread_s,
+        clock_drift_ppm_max=drift_ppm_max,
+        loss_rate=loss_rate,
+    )
+    return Testbed(seed=seed, cluster_config=config, totem_config=totem_config)
+
+
+def call_n(bed: Testbed, client, group: str, method: str, n: int, *args,
+           timeout: float = 2.0):
+    """Run ``n`` sequential invocations; returns the list of result values."""
+
+    def scenario():
+        values = []
+        for _ in range(n):
+            result, _latency = yield from client.timed_call(
+                group, method, *args, timeout=timeout
+            )
+            assert result.ok, result.error
+            values.append(result.value)
+        return values
+
+    return bed.run_process(scenario())

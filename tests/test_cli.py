@@ -1,0 +1,69 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flux-capacitor"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.rounds == 500
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_ccs_command(self, capsys):
+        assert main(["ccs", "--rounds", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "TAB-CCS" in out
+        assert "rounds=" in out
+
+    def test_fig5_command(self, capsys):
+        assert main(["fig5", "--rounds", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "with CTS" in out
+        assert "overhead" in out
+
+    def test_fig6_command(self, capsys):
+        assert main(["fig6", "--rounds", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "synchronizer totals" in out
+        assert "drift" in out
+
+    def test_recovery_command(self, capsys):
+        assert main(["recovery"]) == 0
+        out = capsys.readouterr().out
+        assert "monotone across join:   True" in out
+
+    def test_failover_command(self, capsys):
+        assert main(["failover", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "primary-backup" in out
+        assert "cts" in out
+
+    def test_drift_command(self, capsys):
+        assert main(["drift", "--rounds", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "mean-delay" in out
+        assert "reference steering" in out
+
+    def test_partition_command(self, capsys):
+        assert main(["partition"]) == 0
+        out = capsys.readouterr().out
+        assert "suspended: True" in out
+        assert "clock monotone through the cycle: True" in out
+
+    def test_scale_command(self, capsys):
+        assert main(["scale"]) == 0
+        out = capsys.readouterr().out
+        assert "EXT-SCALE" in out
+        assert "p50 latency" in out

@@ -1,0 +1,36 @@
+"""The exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is errors.ReproError:
+                    continue
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_subsystem_grouping(self):
+        assert issubclass(errors.MembershipError, errors.TotemError)
+        assert issubclass(errors.RpcTimeout, errors.RpcError)
+        assert issubclass(errors.NotPrimaryError, errors.ReplicationError)
+        assert issubclass(errors.ClockRollbackError, errors.TimeServiceError)
+        assert issubclass(errors.ProcessKilled, errors.SimulationError)
+        assert issubclass(errors.Interrupt, errors.SimulationError)
+        assert issubclass(errors.NodeDown, errors.SimulationError)
+
+    def test_interrupt_carries_cause(self):
+        interrupt = errors.Interrupt(cause="timer")
+        assert interrupt.cause == "timer"
+
+    def test_one_except_clause_catches_everything(self):
+        for cls in (errors.TotemError, errors.RpcTimeout,
+                    errors.StateTransferError, errors.ConfigurationError):
+            try:
+                raise cls("x")
+            except errors.ReproError:
+                pass

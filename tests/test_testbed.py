@@ -1,0 +1,93 @@
+"""Tests for the high-level Testbed assembly API."""
+
+import pytest
+
+from repro import Testbed
+from repro.baselines import LocalClockSource
+from repro.core import ConsistentTimeService, MODE_ACTIVE, MODE_PRIMARY
+from repro.errors import ConfigurationError
+from repro.sim import ClusterConfig
+
+from support import ClockApp, call_n  # noqa: E402  (tests/ is on sys.path)
+
+
+class TestDeployment:
+    def test_default_testbed_is_paper_shaped(self):
+        bed = Testbed()
+        assert sorted(bed.processors) == ["n0", "n1", "n2", "n3"]
+        assert sorted(bed.runtimes) == ["n0", "n1", "n2", "n3"]
+
+    def test_unknown_style_rejected(self):
+        bed = Testbed()
+        with pytest.raises(ConfigurationError, match="unknown style"):
+            bed.deploy("svc", ClockApp, ["n1"], style="byzantine")
+
+    def test_unknown_time_source_rejected(self):
+        bed = Testbed()
+        with pytest.raises(ConfigurationError, match="unknown time source"):
+            bed.deploy("svc", ClockApp, ["n1"], time_source="sundial")
+
+    def test_duplicate_group_rejected(self):
+        bed = Testbed()
+        bed.deploy("svc", ClockApp, ["n1"])
+        with pytest.raises(ConfigurationError, match="already deployed"):
+            bed.deploy("svc", ClockApp, ["n2"])
+
+    def test_cts_mode_follows_style(self):
+        bed = Testbed()
+        bed.deploy("a", ClockApp, ["n1"], style="active", time_source="cts")
+        bed.deploy("p", ClockApp, ["n2"], style="passive", time_source="cts")
+        bed.deploy("s", ClockApp, ["n3"], style="semi-active", time_source="cts")
+        assert bed.replicas("a")["n1"].time_source.mode == MODE_ACTIVE
+        assert bed.replicas("p")["n2"].time_source.mode == MODE_PRIMARY
+        assert bed.replicas("s")["n3"].time_source.mode == MODE_PRIMARY
+
+    def test_custom_time_source_factory(self):
+        bed = Testbed()
+        created = []
+
+        def factory(replica):
+            source = LocalClockSource(replica)
+            created.append(source)
+            return source
+
+        bed.deploy("svc", ClockApp, ["n1"], time_source=factory)
+        assert len(created) == 1
+        assert bed.replicas("svc")["n1"].time_source is created[0]
+
+    def test_deploy_after_start(self):
+        bed = Testbed(seed=3)
+        bed.start()
+        bed.deploy("late", ClockApp, ["n1", "n2"], time_source="local")
+        client = bed.client("n0")
+        bed.run(0.3)
+        values = call_n(bed, client, "late", "get_time", 2)
+        assert len(values) == 2
+
+    def test_start_is_idempotent(self):
+        bed = Testbed()
+        bed.start()
+        bed.start()  # no error
+
+
+class TestFailureHelpers:
+    def test_crash_removes_replica_entry(self):
+        bed = Testbed(seed=4)
+        bed.deploy("svc", ClockApp, ["n1", "n2"], time_source="local")
+        bed.start()
+        bed.crash("n1")
+        assert "n1" not in bed.replicas("svc")
+        assert not bed.cluster.node("n1").alive
+
+    def test_recover_rebuilds_protocol_stack(self):
+        bed = Testbed(seed=5)
+        bed.deploy("svc", ClockApp, ["n1", "n2"], time_source="local")
+        bed.start()
+        old_processor = bed.processors["n1"]
+        bed.crash("n1")
+        bed.run(0.3)
+        bed.recover("n1")
+        assert bed.processors["n1"] is not old_processor
+        assert bed.cluster.node("n1").alive
+        bed.run(0.5)
+        assert bed.processors["n1"].is_operational

@@ -1,0 +1,101 @@
+"""Tests for the structured tracing facility."""
+
+import pytest
+
+from repro import trace
+
+from support import ClockApp, call_n, make_testbed  # noqa: E402
+
+
+class TestTracerUnit:
+    def test_disabled_by_default(self):
+        assert not trace.TRACER.enabled
+
+    def test_subscribe_and_emit(self):
+        events = []
+        unsubscribe = trace.subscribe(events.append)
+        try:
+            trace.emit("test.kind", "n9", detail=42)
+        finally:
+            unsubscribe()
+        assert len(events) == 1
+        assert events[0].kind == "test.kind"
+        assert events[0].node == "n9"
+        assert events[0].fields == {"detail": 42}
+
+    def test_unsubscribe_stops_delivery(self):
+        events = []
+        unsubscribe = trace.subscribe(events.append)
+        unsubscribe()
+        trace.emit("test.kind", "n9")
+        assert events == []
+
+    def test_capture_filters_by_prefix(self):
+        with trace.capture(kinds=["a."]) as events:
+            trace.emit("a.one", "n1")
+            trace.emit("b.two", "n1")
+        assert [e.kind for e in events] == ["a.one"]
+
+    def test_event_str(self):
+        event = trace.TraceEvent("round.won", "n2", {"round": 3})
+        assert "[n2] round.won round=3" == str(event)
+
+
+class TestProtocolTraces:
+    def test_round_events_emitted(self):
+        bed = make_testbed(seed=170)
+        bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], time_source="cts")
+        client = bed.client("n0")
+        bed.start()
+        with trace.capture(kinds=["round."]) as events:
+            call_n(bed, client, "svc", "get_time", 3)
+            bed.run(0.05)
+        kinds = {e.kind for e in events}
+        assert "round.start" in kinds
+        assert "round.won" in kinds
+        # Each replica starts each round once.
+        starts = [e for e in events if e.kind == "round.start"]
+        assert len(starts) == 9  # 3 rounds x 3 replicas
+
+    def test_membership_events_emitted(self):
+        bed = make_testbed(seed=171)
+        bed.deploy("svc", ClockApp, ["n1", "n2"], time_source="local")
+        with trace.capture(kinds=["membership."]) as events:
+            bed.start()
+            bed.crash("n2")
+            bed.run(0.4)
+        kinds = [e.kind for e in events]
+        assert "membership.gather" in kinds
+        assert "membership.install" in kinds
+
+    def test_promotion_and_state_events(self):
+        bed = make_testbed(seed=172)
+        bed.deploy(
+            "svc", ClockApp, ["n1", "n2", "n3"],
+            style="passive", time_source="cts", checkpoint_interval=2,
+        )
+        client = bed.client("n0")
+        bed.start(settle=0.3)
+        with trace.capture(kinds=["replica.", "state."]) as events:
+            call_n(bed, client, "svc", "get_time", 4)
+            primary = next(
+                nid for nid, r in bed.replicas("svc").items() if r.is_primary
+            )
+            bed.crash(primary)
+            bed.run(0.6)
+        kinds = {e.kind for e in events}
+        assert "replica.checkpoint" in kinds
+        assert "replica.promote" in kinds
+
+    def test_state_transfer_traced(self):
+        bed = make_testbed(seed=173)
+        bed.deploy("svc", ClockApp, ["n1", "n2"], time_source="cts")
+        client = bed.client("n0")
+        bed.start()
+        call_n(bed, client, "svc", "get_time", 2)
+        with trace.capture(kinds=["state."]) as events:
+            bed.add_replica("svc", "n3", ClockApp, time_source="cts")
+            bed.run(0.5)
+        kinds = [e.kind for e in events]
+        assert "state.served" in kinds
+        assert "state.applied" in kinds

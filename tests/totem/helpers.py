@@ -1,0 +1,94 @@
+"""Shared helpers for Totem protocol tests."""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import Cluster, ClusterConfig
+from repro.totem import ConfigurationChange, TotemConfig, TotemProcessor
+
+
+class Recorder:
+    """Captures one processor's delivery and configuration history."""
+
+    def __init__(self, processor: TotemProcessor):
+        self.processor = processor
+        #: [(seq, sender, payload)] in delivery order.
+        self.delivered: List[Tuple[int, str, object]] = []
+        #: Configuration changes in delivery order.
+        self.configs: List[ConfigurationChange] = []
+        #: Interleaved full history (for order-across-kinds assertions).
+        self.history: List[object] = []
+        processor.on_deliver = self._on_deliver
+        processor.on_config_change = self._on_config
+
+    def _on_deliver(self, msg):
+        entry = (msg.seq, msg.sender, msg.payload)
+        self.delivered.append(entry)
+        self.history.append(("msg",) + entry)
+
+    def _on_config(self, change):
+        self.configs.append(change)
+        self.history.append(("config", change.ring_id, change.members))
+
+    @property
+    def payloads(self) -> List[object]:
+        return [payload for _, _, payload in self.delivered]
+
+
+class TotemHarness:
+    """A cluster with one Totem processor per node, all recording."""
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        *,
+        seed: int = 0,
+        loss_rate: float = 0.0,
+        totem_config: Optional[TotemConfig] = None,
+        start: bool = True,
+    ):
+        config = ClusterConfig(num_nodes=num_nodes, loss_rate=loss_rate)
+        self.cluster = Cluster(config, seed=seed)
+        self.sim = self.cluster.sim
+        self.totem_config = totem_config or TotemConfig()
+        static = self.cluster.node_ids
+        self.processors: Dict[str, TotemProcessor] = {}
+        self.recorders: Dict[str, Recorder] = {}
+        for node_id in static:
+            proc = TotemProcessor(
+                self.cluster.node(node_id),
+                self.totem_config,
+                static_membership=static,
+            )
+            self.processors[node_id] = proc
+            self.recorders[node_id] = Recorder(proc)
+        if start:
+            for proc in self.processors.values():
+                proc.start()
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    def run_until_operational(self, node_ids=None, timeout: float = 1.0) -> None:
+        """Run until the given processors (default: all on live nodes) are
+        operational, or fail the test after ``timeout`` simulated seconds."""
+        node_ids = list(node_ids or self.processors)
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if all(self.processors[nid].is_operational for nid in node_ids):
+                return
+            self.sim.run(until=self.sim.now + 0.001)
+        states = {nid: self.processors[nid].state for nid in node_ids}
+        raise AssertionError(f"processors not operational after {timeout}s: {states}")
+
+    def restart_processor(self, node_id: str) -> TotemProcessor:
+        """Replace a crashed node's processor after Node.recover() —
+        volatile protocol state does not survive a fail-stop crash."""
+        node = self.cluster.node(node_id)
+        proc = TotemProcessor(
+            node, self.totem_config, static_membership=self.cluster.node_ids
+        )
+        self.processors[node_id] = proc
+        self.recorders[node_id] = Recorder(proc)
+        proc.start()
+        return proc

@@ -1,0 +1,60 @@
+"""Tests for the TotemBus pub/sub facade."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Cluster, ClusterConfig
+from repro.totem import TotemBus
+
+
+@pytest.fixture
+def bus():
+    cluster = Cluster(ClusterConfig(num_nodes=4), seed=3)
+    bus = TotemBus(cluster)
+    bus.start()
+    bus.wait_operational()
+    return bus
+
+
+class TestPubSub:
+    def test_publish_reaches_all_nodes_in_order(self, bus):
+        for i in range(12):
+            bus.publish(f"n{i % 4}", i)
+        bus.cluster.run(0.1)
+        orders = bus.orders()
+        values = list(orders.values())
+        assert all(order == values[0] for order in values)
+        assert sorted(values[0]) == list(range(12))
+
+    def test_subscriber_callbacks_fire(self, bus):
+        seen = []
+        bus.subscribe("n2", lambda sender, payload: seen.append((sender, payload)))
+        bus.publish("n1", "hello")
+        bus.cluster.run(0.1)
+        assert seen == [("n1", "hello")]
+
+    def test_membership_callbacks_fire_on_crash(self, bus):
+        changes = []
+        bus.subscribe_membership("n0", changes.append)
+        bus.cluster.node("n3").crash()
+        bus.cluster.run(0.5)
+        assert changes
+        assert "n3" in changes[-1].departed
+
+    def test_delivery_log_includes_sequence_numbers(self, bus):
+        bus.publish("n0", "a")
+        bus.publish("n0", "b")
+        bus.cluster.run(0.1)
+        log = bus.delivered["n1"]
+        seqs = [seq for seq, _, _ in log]
+        assert seqs == sorted(seqs)
+
+    def test_start_idempotent(self, bus):
+        bus.start()  # second call is a no-op
+
+    def test_wait_operational_timeout(self):
+        cluster = Cluster(ClusterConfig(num_nodes=2), seed=4)
+        bus = TotemBus(cluster)
+        # Never started: cannot become operational.
+        with pytest.raises(ConfigurationError, match="failed to become"):
+            bus.wait_operational(timeout=0.05)

@@ -1,0 +1,38 @@
+"""Unit tests for Totem configuration validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.totem import TotemConfig
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        TotemConfig().validate()
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="window_size"):
+            TotemConfig(window_size=0).validate()
+
+    def test_token_loss_must_exceed_retransmit(self):
+        with pytest.raises(ConfigurationError, match="token_loss"):
+            TotemConfig(
+                token_loss_timeout_s=1e-3, token_retransmit_timeout_s=2e-3
+            ).validate()
+
+    def test_fail_ticks_positive(self):
+        with pytest.raises(ConfigurationError, match="fail_after_join_ticks"):
+            TotemConfig(fail_after_join_ticks=0).validate()
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ConfigurationError, match="join_interval_s"):
+            TotemConfig(join_interval_s=-1.0).validate()
+
+    def test_calibration_matches_paper(self):
+        """Token-passing time: processing + propagation + transmission
+        should land near the paper's measured 51 us peak."""
+        config = TotemConfig()
+        # 64-byte token at 100 Mbit/s ≈ 5 us; propagation 20 us; jitter
+        # mean 5 us; processing 15 us -> ≈ 45-50 us per hop.
+        hop = config.token_processing_s + 20e-6 + 5e-6 + 64 * 8 / 100e6
+        assert 40e-6 < hop < 60e-6

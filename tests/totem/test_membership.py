@@ -1,0 +1,235 @@
+"""Tests for Totem membership: crashes, joins, partitions, recovery."""
+
+import pytest
+
+from repro.totem import LostMessage, RegularMessage
+
+from .helpers import TotemHarness
+
+
+class TestCrash:
+    def test_survivors_reform_ring(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.node("n2").crash()
+        survivors = ["n0", "n1", "n3"]
+        harness.run(0.1)
+        harness.run_until_operational(survivors)
+        for nid in survivors:
+            assert harness.processors[nid].members == ("n0", "n1", "n3")
+
+    def test_departure_config_change(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.node("n2").crash()
+        harness.run(0.2)
+        for nid in ["n0", "n1", "n3"]:
+            last = harness.recorders[nid].configs[-1]
+            assert last.departed == ("n2",)
+            assert last.joined == ()
+            assert last.is_primary  # 3 of 4 is a majority
+
+    def test_messages_continue_after_crash(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.node("n3").crash()
+        harness.run(0.2)
+        harness.run_until_operational(["n0", "n1", "n2"])
+        for i in range(10):
+            harness.processors["n0"].mcast(i)
+        harness.run(0.1)
+        for nid in ["n0", "n1", "n2"]:
+            assert harness.recorders[nid].payloads[-10:] == list(range(10))
+
+    def test_in_flight_messages_consistent_across_crash(self):
+        """Messages multicast around the moment of a crash must be
+        delivered to either all survivors or none (virtual synchrony)."""
+        harness = TotemHarness(4, seed=2)
+        harness.run_until_operational()
+        for i in range(20):
+            harness.processors["n1"].mcast(f"pre{i}")
+        # Crash mid-burst: some messages are in flight.
+        harness.run(0.0002)
+        harness.cluster.node("n1").crash()
+        harness.run(0.3)
+        orders = [tuple(harness.recorders[nid].payloads) for nid in ["n0", "n2", "n3"]]
+        assert all(order == orders[0] for order in orders)
+
+    def test_double_crash_leaves_two_member_ring(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.node("n1").crash()
+        harness.cluster.node("n2").crash()
+        harness.run(0.3)
+        harness.run_until_operational(["n0", "n3"])
+        for nid in ["n0", "n3"]:
+            assert harness.processors[nid].members == ("n0", "n3")
+            # 2 of 4 is not a strict majority.
+            assert not harness.recorders[nid].configs[-1].is_primary
+
+
+class TestJoin:
+    def test_late_joiner_merges(self):
+        harness = TotemHarness(4, start=False)
+        for nid in ["n0", "n1", "n2"]:
+            harness.processors[nid].start()
+        harness.run_until_operational(["n0", "n1", "n2"])
+        assert harness.processors["n0"].members == ("n0", "n1", "n2")
+        harness.processors["n3"].start()
+        harness.run(0.2)
+        harness.run_until_operational()
+        for proc in harness.processors.values():
+            assert proc.members == ("n0", "n1", "n2", "n3")
+
+    def test_join_config_change_reports_joiner(self):
+        harness = TotemHarness(3, start=False)
+        for nid in ["n0", "n1"]:
+            harness.processors[nid].start()
+        harness.run_until_operational(["n0", "n1"])
+        harness.processors["n2"].start()
+        harness.run(0.2)
+        last = harness.recorders["n0"].configs[-1]
+        assert last.joined == ("n2",)
+        assert last.departed == ()
+
+    def test_crashed_node_rejoins_after_recovery(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.node("n2").crash()
+        harness.run(0.3)
+        harness.cluster.node("n2").recover()
+        harness.restart_processor("n2")
+        harness.run(0.3)
+        harness.run_until_operational()
+        for proc in harness.processors.values():
+            assert proc.members == ("n0", "n1", "n2", "n3")
+
+    def test_messages_flow_to_rejoined_node(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.node("n2").crash()
+        harness.run(0.3)
+        harness.cluster.node("n2").recover()
+        harness.restart_processor("n2")
+        harness.run(0.3)
+        harness.run_until_operational()
+        harness.processors["n0"].mcast("hello-rejoined")
+        harness.run(0.1)
+        assert "hello-rejoined" in harness.recorders["n2"].payloads
+
+
+class TestPartition:
+    def test_majority_side_is_primary(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.network.partition({"n0", "n1", "n2"}, {"n3"})
+        harness.run(0.3)
+        for nid in ["n0", "n1", "n2"]:
+            last = harness.recorders[nid].configs[-1]
+            assert set(last.members) == {"n0", "n1", "n2"}
+            assert last.is_primary
+        minority = harness.recorders["n3"].configs[-1]
+        assert set(minority.members) == {"n3"}
+        assert not minority.is_primary
+
+    def test_partition_heal_remerges(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.network.partition({"n0", "n1"}, {"n2", "n3"})
+        harness.run(0.3)
+        harness.cluster.network.heal()
+        harness.run(0.5)
+        harness.run_until_operational()
+        for proc in harness.processors.values():
+            assert proc.members == ("n0", "n1", "n2", "n3")
+        for recorder in harness.recorders.values():
+            assert recorder.configs[-1].is_primary
+
+    def test_messages_during_partition_stay_in_component(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        harness.cluster.network.partition({"n0", "n1", "n2"}, {"n3"})
+        harness.run(0.3)
+        harness.processors["n0"].mcast("majority-only")
+        harness.run(0.1)
+        assert "majority-only" in harness.recorders["n1"].payloads
+        assert "majority-only" not in harness.recorders["n3"].payloads
+
+
+class TestRecoveryDetails:
+    def test_messages_before_config_change_in_history(self):
+        """Old-ring messages are delivered before the configuration
+        change event at every survivor (extended virtual synchrony)."""
+        harness = TotemHarness(4, seed=5)
+        harness.run_until_operational()
+        for i in range(10):
+            harness.processors["n0"].mcast(f"old{i}")
+        harness.run(0.0003)
+        harness.cluster.node("n0").crash()
+        harness.run(0.4)
+        for nid in ["n1", "n2", "n3"]:
+            history = harness.recorders[nid].history
+            kinds = [entry[0] for entry in history]
+            # After the second config entry (the post-crash one), no 'msg'
+            # entries from the old ring may appear before it.
+            config_indices = [i for i, k in enumerate(kinds) if k == "config"]
+            assert len(config_indices) >= 2
+            old_msgs = [i for i, e in enumerate(history) if e[0] == "msg"]
+            if old_msgs:
+                assert max(old_msgs) != config_indices[-1]  # sanity
+
+    def test_survivor_histories_identical(self):
+        harness = TotemHarness(4, seed=8)
+        harness.run_until_operational()
+        for i in range(15):
+            harness.processors["n2"].mcast(i)
+        harness.run(0.0004)
+        harness.cluster.node("n2").crash()
+        harness.run(0.4)
+        payload_orders = {
+            nid: tuple(harness.recorders[nid].payloads) for nid in ["n0", "n1", "n3"]
+        }
+        values = list(payload_orders.values())
+        assert values[0] == values[1] == values[2]
+
+    def test_tombstone_fills_irrecoverable_gap(self):
+        """White-box: a sequence number held by no survivor is tombstoned
+        so delivery proceeds; the tombstone is never delivered."""
+        harness = TotemHarness(3, seed=1)
+        harness.run_until_operational()
+        # n0 multicasts two messages; surgically remove seq from n1/n2 to
+        # emulate the frames being lost, and give n1 the later one only.
+        harness.processors["n0"].mcast("will-be-lost")
+        harness.processors["n0"].mcast("survives")
+        harness.run(0.05)  # everything delivered normally first
+        # Build the damaged state by hand: pretend n1 holds seq+1 but not
+        # seq, and n0 (the only holder) crashes.
+        proc1 = harness.processors["n1"]
+        base = proc1.delivered_seq
+        ring_id = proc1.ring.ring_id
+        msg_hi = RegularMessage(ring_id, base + 2, "n0", "late-survivor")
+        proc1._store_message(msg_hi)
+        harness.cluster.node("n0").crash()
+        harness.run(0.5)
+        harness.run_until_operational(["n1", "n2"])
+        # Both survivors delivered 'late-survivor' and skipped the gap.
+        for nid in ["n1", "n2"]:
+            assert "late-survivor" in harness.recorders[nid].payloads
+            assert not any(
+                isinstance(p, LostMessage) for p in harness.recorders[nid].payloads
+            )
+        assert (
+            harness.recorders["n1"].payloads == harness.recorders["n2"].payloads
+        )
+
+
+class TestTokenLossRobustness:
+    def test_heavy_token_loss_still_converges(self):
+        harness = TotemHarness(4, loss_rate=0.08, seed=4)
+        harness.run_until_operational(timeout=3.0)
+        for i in range(20):
+            harness.processors["n0"].mcast(i)
+        harness.run(1.0)
+        final = [tuple(r.payloads) for r in harness.recorders.values()]
+        assert all(order == final[0] for order in final)
+        assert sorted(final[0]) == list(range(20))

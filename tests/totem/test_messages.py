@@ -1,0 +1,94 @@
+"""Unit tests for Totem wire message types."""
+
+import pytest
+
+from repro.totem import (
+    CommitMemberInfo,
+    CommitToken,
+    ConfigurationChange,
+    JoinMessage,
+    LostMessage,
+    RegularMessage,
+    RegularToken,
+    RingId,
+)
+
+
+class TestRingId:
+    def test_ordering_by_seq_then_rep(self):
+        assert RingId(1, "n0") < RingId(2, "n0")
+        assert RingId(2, "n0") < RingId(2, "n1")
+
+    def test_distinct_reps_distinct_ids(self):
+        assert RingId(3, "n0") != RingId(3, "n1")
+
+    def test_str(self):
+        assert "3" in str(RingId(3, "n1")) and "n1" in str(RingId(3, "n1"))
+
+
+class TestRegularMessage:
+    def test_wire_size_includes_payload(self):
+        class SizedPayload:
+            def wire_size(self):
+                return 100
+
+        msg = RegularMessage(RingId(1, "n0"), 5, "n1", SizedPayload())
+        assert msg.wire_size() == 148
+
+    def test_default_payload_size(self):
+        msg = RegularMessage(RingId(1, "n0"), 5, "n1", "plain string")
+        assert msg.wire_size() == 48 + 64
+
+    def test_immutability(self):
+        msg = RegularMessage(RingId(1, "n0"), 5, "n1", "x")
+        with pytest.raises(AttributeError):
+            msg.seq = 6
+
+
+class TestRegularToken:
+    def test_wire_size_grows_with_rtr(self):
+        small = RegularToken(RingId(1, "n0"), 1, 0, 0, None)
+        big = RegularToken(RingId(1, "n0"), 1, 0, 0, None, rtr=(1, 2, 3))
+        assert big.wire_size() > small.wire_size()
+
+
+class TestCommitToken:
+    def test_next_member_wraps(self):
+        token = CommitToken(RingId(2, "n0"), ("n0", "n1", "n2"))
+        assert token.next_member("n0") == "n1"
+        assert token.next_member("n2") == "n0"
+
+    def test_copy_is_deep_for_info_and_rtr(self):
+        token = CommitToken(RingId(2, "n0"), ("n0", "n1"))
+        token.info["n0"] = CommitMemberInfo(high_seq=5)
+        token.rtr.append((RingId(1, "n0"), 3))
+        clone = token.copy()
+        clone.info["n0"].high_seq = 99
+        clone.rtr.clear()
+        assert token.info["n0"].high_seq == 5
+        assert token.rtr == [(RingId(1, "n0"), 3)]
+
+
+class TestLostMessage:
+    def test_equality_and_hash(self):
+        assert LostMessage() == LostMessage()
+        assert hash(LostMessage()) == hash(LostMessage())
+        assert LostMessage() != "anything else"
+
+    def test_zero_wire_size(self):
+        assert LostMessage().wire_size() == 0
+
+
+class TestConfigurationChange:
+    def test_str_mentions_primary(self):
+        change = ConfigurationChange(
+            RingId(4, "n0"), ("n0", "n1"), ("n1",), ("n2",), True
+        )
+        text = str(change)
+        assert "primary" in text
+        assert "n2" in text
+
+    def test_join_message_is_frozen(self):
+        join = JoinMessage("n0", frozenset({"n0"}), frozenset(), 0)
+        with pytest.raises(AttributeError):
+            join.ring_seq = 2

@@ -1,0 +1,101 @@
+"""Tests for Totem safe delivery (the stronger delivery guarantee)."""
+
+import pytest
+
+from .helpers import TotemHarness
+
+
+class SafeRecorder:
+    def __init__(self, harness):
+        self.agreed = {nid: [] for nid in harness.processors}
+        self.safe = {nid: [] for nid in harness.processors}
+        for nid, proc in harness.processors.items():
+            recorder = harness.recorders[nid]
+            # Keep the existing agreed recorder, add safe tracking.
+            self.agreed[nid] = recorder.payloads
+            proc.on_safe_deliver = (
+                lambda msg, _n=nid: self.safe[_n].append(msg.payload)
+            )
+
+
+class TestSafeDelivery:
+    def test_safe_is_prefix_of_agreed(self):
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        tracker = SafeRecorder(harness)
+        for i in range(20):
+            harness.processors[f"n{i % 4}"].mcast(i)
+        harness.run(0.05)
+        for nid in harness.processors:
+            agreed = harness.recorders[nid].payloads
+            safe = tracker.safe[nid]
+            assert safe == agreed[: len(safe)]
+
+    def test_safe_eventually_catches_up(self):
+        harness = TotemHarness(3)
+        harness.run_until_operational()
+        tracker = SafeRecorder(harness)
+        for i in range(10):
+            harness.processors["n0"].mcast(i)
+        # Safe delivery trails by rotations; give it a few.
+        harness.run(0.1)
+        for nid in harness.processors:
+            assert tracker.safe[nid] == list(range(10))
+
+    def test_safe_trails_agreed(self):
+        """Right after agreed delivery, safe delivery has not happened
+        yet (it needs the aru to pass on consecutive rotations)."""
+        harness = TotemHarness(4)
+        harness.run_until_operational()
+        tracker = SafeRecorder(harness)
+        sim = harness.sim
+        agreed_at = {}
+        safe_at = {}
+        proc = harness.processors["n2"]
+        old_deliver = proc.on_deliver
+        proc.on_deliver = lambda msg: (
+            agreed_at.setdefault(msg.seq, sim.now),
+            old_deliver(msg),
+        )
+        old_safe = proc.on_safe_deliver
+        proc.on_safe_deliver = lambda msg: (
+            safe_at.setdefault(msg.seq, sim.now),
+            old_safe(msg),
+        )
+        harness.processors["n1"].mcast("x")
+        harness.run(0.05)
+        seq = next(iter(agreed_at))
+        assert safe_at[seq] > agreed_at[seq]
+        # But within a few token rotations (~200 us each).
+        assert safe_at[seq] - agreed_at[seq] < 2e-3
+
+    def test_safe_order_identical_across_processors(self):
+        harness = TotemHarness(4, seed=9)
+        harness.run_until_operational()
+        tracker = SafeRecorder(harness)
+        for i in range(15):
+            harness.processors[f"n{i % 4}"].mcast(i)
+        harness.run(0.1)
+        orders = [tuple(tracker.safe[nid]) for nid in harness.processors]
+        assert all(order == orders[0] for order in orders)
+
+
+class TestTokenTimeRecording:
+    def test_disabled_by_default(self):
+        harness = TotemHarness(3)
+        harness.run_until_operational()
+        harness.run(0.02)
+        assert harness.processors["n0"].token_arrival_times == []
+
+    def test_records_when_enabled(self):
+        from repro.totem import TotemConfig
+
+        harness = TotemHarness(4, totem_config=TotemConfig(record_token_times=True))
+        harness.run_until_operational()
+        harness.run(0.02)
+        times = harness.processors["n1"].token_arrival_times
+        assert len(times) > 10
+        intervals = [b - a for a, b in zip(times, times[1:])]
+        # Rotation of a 4-node ring: ~200 us with the calibrated model.
+        typical = sorted(intervals)[len(intervals) // 2]
+        assert 100e-6 < typical < 400e-6

@@ -1,0 +1,136 @@
+"""Tests for the experiment workload generators (small sizes)."""
+
+import pytest
+
+from repro.workloads import (
+    failover_comparison,
+    run_failover_workload,
+    run_latency_workload,
+    run_recovery_workload,
+    run_skew_drift_workload,
+)
+
+
+class TestLatencyWorkload:
+    def test_collects_latencies(self):
+        run = run_latency_workload(time_source="cts", invocations=50, seed=1)
+        assert len(run.latencies_us) == 50
+        assert all(lat > 0 for lat in run.latencies_us)
+        assert run.mean_us > 0
+
+    def test_ccs_counts_skewed_to_fast_replica(self):
+        run = run_latency_workload(time_source="cts", invocations=100, seed=1)
+        counts = sorted(run.ccs_transmitted.values(), reverse=True)
+        # The fast replica (paper's n2) decides nearly every round.
+        assert counts[0] >= 0.9 * sum(counts)
+        assert sum(counts) == run.rounds
+
+    def test_cts_adds_overhead(self):
+        base = run_latency_workload(time_source="local", invocations=150, seed=2)
+        with_cts = run_latency_workload(time_source="cts", invocations=150, seed=2)
+        assert with_cts.mean_us > base.mean_us
+
+    def test_baseline_has_no_ccs(self):
+        run = run_latency_workload(time_source="local", invocations=20, seed=3)
+        assert run.ccs_transmitted == {}
+        assert run.rounds == 0
+
+
+class TestSkewDriftWorkload:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_skew_drift_workload(rounds=120, seed=4)
+
+    def test_round_counts(self, result):
+        assert result.rounds == 120
+        for series in result.series.values():
+            assert len(series.history) == 120
+
+    def test_synchronizer_rotates(self, result):
+        counts = result.winner_counts()
+        assert len(counts) >= 2  # more than one replica wins rounds
+        assert sum(counts.values()) == 120
+
+    def test_wire_economy(self, result):
+        # Section 4.3: total CCS messages transmitted == rounds.
+        assert result.total_transmitted == 120
+
+    def test_intervals_in_expected_range(self, result):
+        for series in result.series.values():
+            for interval in series.physical_intervals():
+                # busy loop 60-400us plus round latency, bounded sanity.
+                assert 0 < interval < 5_000
+
+    def test_group_clock_runs_slow(self, result):
+        assert result.group_drift_ppm() < 0
+
+    def test_offsets_trend_decreasing(self, result):
+        for series in result.series.values():
+            offsets = series.offsets()
+            assert offsets[-1] <= offsets[0]
+
+    def test_group_series_identical_across_replicas(self, result):
+        groups = [
+            [g for g, _, _ in s.history] for s in result.series.values()
+        ]
+        assert groups[0] == groups[1] == groups[2]
+
+
+class TestFailoverWorkload:
+    def test_cts_monotone(self):
+        result = run_failover_workload(time_source="cts", seed=5)
+        assert result.monotone
+        assert not result.rolled_back
+
+    def test_comparison_summary(self):
+        summary = failover_comparison(range(10, 14), calls_each_side=3)
+        assert summary["cts"]["non_monotone"] == 0
+        assert summary["cts"]["worst_step_us"] > 0
+        # The baseline misbehaves somewhere in the seed range.
+        baseline = summary["primary-backup"]
+        assert (
+            baseline["rollbacks"] + baseline["fast_forwards"] > 0
+            or baseline["worst_step_us"] <= 0
+        )
+
+
+class TestRecoveryWorkload:
+    def test_integration_properties(self):
+        result = run_recovery_workload(seed=6, calls_before=4, calls_after=4)
+        assert result.monotone
+        assert result.joiner_consistent
+        assert result.recovery_adoptions >= 1
+        assert result.joiner_count == result.member_count
+        assert 0 < result.integration_time_s < 5.0
+
+
+class TestThroughputWorkload:
+    def test_point_counts(self):
+        from repro.workloads import run_throughput_point
+
+        point = run_throughput_point(
+            time_source="local", offered_per_s=2_000, duration_s=0.1, seed=3
+        )
+        assert point.issued == pytest.approx(200, abs=2)
+        assert point.completed == point.issued
+        assert point.mean_latency_us > 0
+        assert not point.saturated
+
+    def test_cts_latency_grows_past_capacity(self):
+        from repro.workloads import run_throughput_point
+
+        calm = run_throughput_point(
+            time_source="cts", offered_per_s=1_000, duration_s=0.1, seed=3
+        )
+        stormy = run_throughput_point(
+            time_source="cts", offered_per_s=25_000, duration_s=0.1, seed=3
+        )
+        assert stormy.mean_latency_us > 5 * calm.mean_latency_us
+
+    def test_sweep_returns_all_rates(self):
+        from repro.workloads import run_throughput_sweep
+
+        sweep = run_throughput_sweep(
+            [500, 1_000], time_source="local", duration_s=0.05, seed=4
+        )
+        assert sorted(sweep) == [500, 1_000]
