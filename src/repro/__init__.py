@@ -31,6 +31,7 @@ Quick start::
     print(bed.run_process(scenario()))
 """
 
+from . import obs, trace
 from .core import (
     ConsistentTimeService,
     MeanDelayCompensation,
@@ -69,5 +70,7 @@ __all__ = [
     "TotemConfig",
     "TotemProcessor",
     "__version__",
+    "obs",
+    "trace",
     "unwrap",
 ]

@@ -10,16 +10,26 @@ the benchmark harness produces.  Intended for quick exploration::
     python -m repro failover --seeds 8   # roll-back comparison
     python -m repro drift --rounds 800   # compensation ablation
     python -m repro recovery             # new-clock integration
+    python -m repro metrics              # observability smoke / cross-check
     python -m repro all                  # everything, quick scale
+
+Observability: every experiment accepts ``--metrics out.jsonl`` (enable
+the metrics registry and dump a JSONL + Prometheus-text export) and
+``--trace`` (stream protocol trace events to stderr); see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
+from pathlib import Path
 from typing import List, Optional
 
+from . import obs, trace
 from .analysis import format_table, probability_density, summarize
+from .obs import export as obs_export
 from .core import (
     AlignedReferenceSteering,
     MeanDelayCompensation,
@@ -261,6 +271,51 @@ def cmd_scale(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    """Observability smoke test.
+
+    Runs the CCS workload with the metrics registry and span tracker
+    enabled, then cross-checks the registry-derived per-node transmitted
+    counts (``ccs_sent_total`` − ``ccs_suppressed_total``) against the
+    wire-level counts the benchmark harness reports.  Exit status 0 only
+    if they agree and the latency histogram is populated.
+    """
+    tracker = obs.RoundSpanTracker()
+    with obs.REGISTRY.session(), tracker:
+        run = run_latency_workload(
+            time_source="cts", invocations=args.rounds, seed=args.seed)
+    sent = obs.REGISTRY.get("ccs_sent_total")
+    suppressed = obs.REGISTRY.get("ccs_suppressed_total")
+    derived = {
+        node: int(sent.value(node=node) - suppressed.value(node=node))
+        for node in run.ccs_transmitted
+    }
+    rows = []
+    for node in sorted(run.ccs_transmitted):
+        ok = derived[node] == run.ccs_transmitted[node]
+        rows.append([node, run.ccs_transmitted[node], derived[node],
+                     "ok" if ok else "MISMATCH"])
+    print(format_table(
+        ["node", "wire count", "sent - suppressed", "check"], rows,
+        title="OBS-SMOKE CCS transmission cross-check"))
+    print()
+    print(obs_export.summary_table(obs.REGISTRY,
+                                   title="registry after the run"))
+    spans = tracker.completed()
+    print(f"round spans: {len(spans)} completed; "
+          f"synchronizers: {tracker.winner_counts()}")
+    histogram = obs.REGISTRY.get("cts_round_latency_us")
+    populated = histogram is not None and histogram.total_count() > 0
+    matched = derived == dict(run.ccs_transmitted)
+    if not matched:
+        print("FAIL: registry-derived counts diverge from the wire counts")
+    if not populated:
+        print("FAIL: round-latency histogram is empty")
+    if not spans:
+        print("FAIL: no round spans were assembled")
+    return 0 if (matched and populated and spans) else 1
+
+
 def cmd_all(args) -> int:
     status = 0
     for command in (cmd_fig1, cmd_fig5, cmd_ccs, cmd_fig6, cmd_failover,
@@ -280,8 +335,52 @@ COMMANDS = {
     "recovery": cmd_recovery,
     "partition": cmd_partition,
     "scale": cmd_scale,
+    "metrics": cmd_metrics,
     "all": cmd_all,
 }
+
+
+@contextmanager
+def _observability(args):
+    """Wrap one command in the telemetry the flags asked for.
+
+    ``--metrics PATH`` enables the registry, collects trace events and
+    round spans, and on exit writes a JSONL export to PATH plus a
+    Prometheus text exposition next to it.  ``--trace`` streams every
+    protocol trace event to stderr as it happens.
+    """
+    metrics_path = getattr(args, "metrics", None)
+    tracing = getattr(args, "trace", False)
+    if not metrics_path and not tracing:
+        yield
+        return
+    events: List[trace.TraceEvent] = []
+    tracker = obs.RoundSpanTracker()
+    unsubscribes = []
+    if metrics_path:
+        obs.REGISTRY.reset()
+        obs.REGISTRY.enable()
+        tracker.attach()
+        unsubscribes.append(trace.subscribe(events.append))
+    if tracing:
+        unsubscribes.append(trace.subscribe(
+            lambda event: print(str(event), file=sys.stderr)))
+    try:
+        yield
+    finally:
+        for unsubscribe in unsubscribes:
+            unsubscribe()
+        tracker.detach()
+        if metrics_path:
+            obs.REGISTRY.disable()
+            path = Path(metrics_path)
+            written = obs_export.write_jsonl(
+                obs.REGISTRY, path,
+                trace_events=events, spans=tracker.completed())
+            prom_path = path.with_suffix(".prom")
+            prom_path.write_text(obs_export.prometheus_text(obs.REGISTRY))
+            print(f"[obs] wrote {written} records to {path} and a "
+                  f"Prometheus exposition to {prom_path}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -298,12 +397,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed-sweep width (failover)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root RNG seed")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="enable the metrics registry and write a JSONL "
+                             "export to PATH (plus PATH with a .prom suffix "
+                             "in Prometheus text exposition format)")
+    parser.add_argument("--trace", action="store_true",
+                        help="stream protocol trace events to stderr")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return COMMANDS[args.experiment](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.metrics is not None:
+        # Fail before the experiment runs, not after: an unwritable
+        # export path would otherwise waste the whole run.
+        if not args.metrics:
+            parser.error("argument --metrics: path must not be empty")
+        path = Path(args.metrics)
+        try:
+            if path.parent != Path(""):
+                path.parent.mkdir(parents=True, exist_ok=True)
+            path.touch()
+        except OSError as error:
+            parser.error(f"cannot write metrics file {path}: {error}")
+    with _observability(args):
+        return COMMANDS[args.experiment](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..errors import TimeServiceError
-from .. import trace
+from .. import obs, trace
 from ..replication.envelope import Envelope, MsgType, make_envelope
 from ..replication.timesource import TimeSource
 from ..sim.clock import ClockValue
@@ -54,6 +54,35 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Modes: every replica competes, or only the primary proposes.
 MODE_ACTIVE = "active"
 MODE_PRIMARY = "primary"
+
+# -- observability instruments (zero-cost while the registry is off) ----
+M_ROUNDS = obs.REGISTRY.counter(
+    "ccs_rounds_total", "CCS rounds completed")
+M_SENT = obs.REGISTRY.counter(
+    "ccs_sent_total", "CCS messages handed to Totem for transmission")
+M_SUPPRESSED = obs.REGISTRY.counter(
+    "ccs_suppressed_total",
+    "CCS messages withdrawn before transmission (duplicate suppression)")
+M_DUPLICATES = obs.REGISTRY.counter(
+    "ccs_duplicates_total",
+    "received CCS messages discarded as round duplicates")
+M_FROM_BUFFER = obs.REGISTRY.counter(
+    "ccs_rounds_from_buffer_total",
+    "rounds satisfied from the input buffer without constructing a CCS message")
+M_ADOPTIONS = obs.REGISTRY.counter(
+    "ccs_recovery_adoptions_total",
+    "group-clock adoptions performed while recovering")
+M_ROUND_LATENCY = obs.REGISTRY.histogram(
+    "cts_round_latency_us",
+    "CCS round latency: interposition to group-value delivery", unit="us",
+    buckets=(50, 100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600,
+             51_200))
+M_OFFSET = obs.REGISTRY.gauge(
+    "cts_clock_offset_us", "my_clock_offset after the last committed round",
+    unit="us")
+M_ABORTS = obs.REGISTRY.counter(
+    "ccs_rounds_aborted_total",
+    "blocked clock operations aborted (abandoned protocol positions)")
 
 
 @dataclass
@@ -139,6 +168,7 @@ class ConsistentTimeService(TimeSource):
             trace.emit(
                 "round.start", self.node_id, thread=thread_id,
                 round=round_number, proposal_us=proposal_us, call=call.name,
+                buffered=bool(handler.my_input_buffer), t=self.sim.now,
             )
         result = Event(self.sim)
         handler.pending = PendingRound(
@@ -154,6 +184,8 @@ class ConsistentTimeService(TimeSource):
             # The round's winner was ordered before we even got here: no
             # CCS message is constructed at all (line 11 short-circuit).
             self.stats.rounds_from_buffer += 1
+            if obs.REGISTRY.enabled:
+                M_FROM_BUFFER.inc(node=self.node_id)
             self._complete(handler, call)
         else:
             if self._may_send():
@@ -185,6 +217,19 @@ class ConsistentTimeService(TimeSource):
         self.stats.rounds_completed += 1
         value = ClockValue(call.quantize(group_us))
         self.readings.append((self.sim.now, handler.my_thread_id, call.name, value))
+        if obs.REGISTRY.enabled:
+            M_ROUNDS.inc(node=self.node_id)
+            M_ROUND_LATENCY.observe(
+                (self.sim.now - pending.started_at) * 1e6, node=self.node_id)
+            M_OFFSET.set(self.clock_state.offset_us, node=self.node_id)
+        if trace.TRACER.enabled:
+            trace.emit(
+                "round.complete", self.node_id,
+                thread=handler.my_thread_id, round=pending.round_number,
+                group_us=group_us, offset_us=self.clock_state.offset_us,
+                latency_us=(self.sim.now - pending.started_at) * 1e6,
+                t=self.sim.now,
+            )
         if not pending.result.triggered:
             pending.result.succeed(value)
 
@@ -203,6 +248,14 @@ class ConsistentTimeService(TimeSource):
         pending = handler.pending
         pending.sent = True
         self.stats.ccs_sent += 1
+        if obs.REGISTRY.enabled:
+            M_SENT.inc(node=self.node_id)
+        if trace.TRACER.enabled:
+            trace.emit(
+                "round.sent", self.node_id, thread=handler.my_thread_id,
+                round=pending.round_number, proposal_us=pending.proposal_us,
+                t=self.sim.now,
+            )
         self.replica.endpoint.mcast(
             make_envelope(
                 MsgType.CCS,
@@ -234,6 +287,8 @@ class ConsistentTimeService(TimeSource):
         )
         if msg.round_number <= watermark:
             self.stats.duplicates_discarded += 1
+            if obs.REGISTRY.enabled:
+                M_DUPLICATES.inc(node=self.node_id)
             return
         self._accepted[thread_id] = msg.round_number
         self.winners.append((thread_id, msg.round_number, envelope.sender))
@@ -242,7 +297,7 @@ class ConsistentTimeService(TimeSource):
             trace.emit(
                 "round.won", self.node_id, thread=thread_id,
                 round=msg.round_number, winner=envelope.sender,
-                group_us=msg.proposed_micros,
+                group_us=msg.proposed_micros, t=self.sim.now,
             )
 
         if self._recovering:
@@ -252,10 +307,13 @@ class ConsistentTimeService(TimeSource):
             physical_us = self.node.read_clock_us()
             self.clock_state.commit(msg.proposed_micros, physical_us)
             self.stats.recovery_adoptions += 1
+            if obs.REGISTRY.enabled:
+                M_ADOPTIONS.inc(node=self.node_id)
             if trace.TRACER.enabled:
                 trace.emit(
                     "round.adopted", self.node_id, thread=thread_id,
                     round=msg.round_number, offset_us=self.clock_state.offset_us,
+                    t=self.sim.now,
                 )
             self.my_common_input_buffer.append(msg)
             return
@@ -296,11 +354,13 @@ class ConsistentTimeService(TimeSource):
                 self._matches_my_ccs(msg.thread_id, msg.round_number)
             )
             self.stats.ccs_suppressed += cancelled
+            if cancelled and obs.REGISTRY.enabled:
+                M_SUPPRESSED.inc(cancelled, node=self.node_id)
             if cancelled and trace.TRACER.enabled:
                 trace.emit(
                     "round.suppressed", self.node_id,
                     thread=msg.thread_id, round=msg.round_number,
-                    beaten_by=envelope.sender,
+                    beaten_by=envelope.sender, t=self.sim.now,
                 )
 
     def _matches_my_ccs(self, thread_id: str, round_number: int) -> Callable:
@@ -371,7 +431,11 @@ class ConsistentTimeService(TimeSource):
 
     def abort_in_flight(self) -> None:
         for handler in self._handlers.values():
-            handler.abort_pending("replica abandoned its protocol position")
+            aborted = handler.abort_pending(
+                "replica abandoned its protocol position"
+            )
+            if aborted and obs.REGISTRY.enabled:
+                M_ABORTS.inc(node=self.node_id)
 
     def begin_recovery(self) -> None:
         self._recovering = True

@@ -1,0 +1,183 @@
+"""Exporters: JSONL dumps, Prometheus text exposition, summary tables.
+
+Three independent views over the same :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`write_jsonl` — one JSON record per metric series (plus,
+  optionally, one per trace event and per round span): the machine-
+  readable dump downstream analysis ingests.
+* :func:`prometheus_text` — the classic ``text/plain; version=0.0.4``
+  exposition format, so a snapshot can be diffed against what a real
+  Prometheus scrape of a production deployment would return.
+* :func:`summary_table` — the human-readable roll-up the CLI prints,
+  reusing the benchmark harness's table formatter.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO, Iterable, List, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import RoundSpan
+from ..trace import TraceEvent
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+def trace_event_record(event: TraceEvent) -> dict:
+    """The JSONL encoding of one trace event."""
+    record = {"record": "trace", "kind": event.kind, "node": event.node}
+    record.update(event.fields)
+    return record
+
+
+def write_jsonl(
+    registry: MetricsRegistry,
+    target: PathOrFile,
+    *,
+    trace_events: Optional[Iterable[TraceEvent]] = None,
+    spans: Optional[Iterable[RoundSpan]] = None,
+) -> int:
+    """Dump the registry (and optional traces/spans) as JSON lines.
+
+    Returns the number of records written.  Record types are
+    distinguished by the ``record`` field: ``metric``, ``trace``,
+    ``span``.
+    """
+    records: List[dict] = []
+    for sample in registry.collect():
+        records.append({"record": "metric", **sample})
+    for event in trace_events or ():
+        records.append(trace_event_record(event))
+    for span in spans or ():
+        records.append({"record": "span", **span.to_dict()})
+
+    if hasattr(target, "write"):
+        out = target
+        close = False
+    else:
+        out = open(target, "w", encoding="utf-8")
+        close = True
+    try:
+        for record in records:
+            out.write(json.dumps(record, default=str) + "\n")
+    finally:
+        if close:
+            out.close()
+    return len(records)
+
+
+def read_jsonl(source: PathOrFile) -> List[dict]:
+    """Parse a dump produced by :func:`write_jsonl`."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\")
+                 .replace("\n", r"\n")
+                 .replace('"', r'\"'))
+
+
+def _format_labels(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    out = io.StringIO()
+    for metric in registry.metrics():
+        header_needed = True
+
+        def header():
+            if metric.help:
+                out.write(f"# HELP {metric.name} {metric.help}\n")
+            out.write(f"# TYPE {metric.name} {metric.kind}\n")
+
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.items():
+                if header_needed:
+                    header()
+                    header_needed = False
+                out.write(f"{metric.name}{_format_labels(labels)} "
+                          f"{_format_value(value)}\n")
+        elif isinstance(metric, Histogram):
+            for labels, snap in metric.items():
+                if header_needed:
+                    header()
+                    header_needed = False
+                for bound, cumulative in snap.cumulative():
+                    le = _format_value(float(bound))
+                    out.write(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(labels, {'le': le})} "
+                        f"{cumulative}\n"
+                    )
+                out.write(f"{metric.name}_sum{_format_labels(labels)} "
+                          f"{_format_value(snap.sum)}\n")
+                out.write(f"{metric.name}_count{_format_labels(labels)} "
+                          f"{snap.count}\n")
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# Human-readable summary
+# ----------------------------------------------------------------------
+
+def summary_table(registry: MetricsRegistry, *, title: str = "metrics") -> str:
+    """A terminal-friendly roll-up of every recorded series."""
+    from ..analysis.tables import format_table  # local: avoid import cycle
+
+    rows = []
+    for metric in registry.metrics():
+        if isinstance(metric, (Counter, Gauge)):
+            for labels, value in metric.items():
+                rows.append([
+                    metric.name,
+                    metric.kind,
+                    _format_labels(labels) or "-",
+                    _format_value(value),
+                ])
+        elif isinstance(metric, Histogram):
+            for labels, snap in metric.items():
+                detail = (f"count={snap.count} mean={snap.mean:.1f} "
+                          f"min={_format_value(snap.minimum or 0)} "
+                          f"max={_format_value(snap.maximum or 0)}")
+                rows.append([
+                    metric.name, metric.kind,
+                    _format_labels(labels) or "-", detail,
+                ])
+    if not rows:
+        return f"{title}: (no samples recorded)"
+    return format_table(["metric", "type", "labels", "value"], rows,
+                        title=title)

@@ -1,0 +1,383 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+A Prometheus-flavoured, dependency-free instrument set for the CTS
+stack.  Design constraints:
+
+* **Zero-cost when disabled.**  Instruments are created at import time
+  (cheap handles on the process-wide :data:`REGISTRY`), but every
+  mutator begins with a single ``registry.enabled`` check and returns
+  immediately when observability is off — the hot protocol paths pay
+  one attribute read and a branch.
+* **Simulated time.**  Samples are timestamped with the *virtual* clock
+  of the discrete-event kernel: the :class:`~repro.testbed.Testbed`
+  binds ``registry.set_clock(lambda: sim.now)`` when it builds a
+  cluster, so exported series line up with trace events and the
+  latencies the benchmarks report.
+* **Labels.**  Every instrument is a family; series are keyed by label
+  sets (typically ``node="n2"``), mirroring the per-node tables of the
+  paper's evaluation.
+
+Usage::
+
+    from repro.obs import REGISTRY
+
+    ROUNDS = REGISTRY.counter("ccs_rounds_total", "CCS rounds completed")
+
+    with REGISTRY.session():
+        ...run a scenario...          # instruments record
+    ROUNDS.value(node="n1")           # read back after the run
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import ReproError
+
+#: Canonical label-set key: sorted (name, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricsError(ReproError):
+    """Invalid metric registration or update."""
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: one named family of labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 help: str = "", unit: str = ""):
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.unit = unit
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def samples(self) -> List[dict]:
+        """Flattened per-series records for the exporters."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, help="", unit=""):
+        super().__init__(registry, name, help, unit)
+        #: label key -> [value, last_updated_sim_time]
+        self._series: Dict[LabelKey, List[float]] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        registry = self.registry
+        if not registry._enabled:
+            return
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        entry = self._series.get(key)
+        if entry is None:
+            entry = self._series[key] = [0.0, 0.0]
+        entry[0] += amount
+        entry[1] = registry.now()
+
+    def value(self, **labels: Any) -> float:
+        entry = self._series.get(_label_key(labels))
+        return entry[0] if entry else 0.0
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(entry[0] for entry in self._series.values())
+
+    def items(self) -> Iterator[Tuple[Dict[str, str], float]]:
+        for key, entry in sorted(self._series.items()):
+            yield dict(key), entry[0]
+
+    def clear(self) -> None:
+        self._series.clear()
+
+    def samples(self) -> List[dict]:
+        return [
+            {"name": self.name, "type": self.kind, "labels": dict(key),
+             "value": entry[0], "t": entry[1]}
+            for key, entry in sorted(self._series.items())
+        ]
+
+
+class Gauge(Metric):
+    """A value that can go up and down (e.g. a clock offset)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help="", unit=""):
+        super().__init__(registry, name, help, unit)
+        self._series: Dict[LabelKey, List[float]] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        registry = self.registry
+        if not registry._enabled:
+            return
+        key = _label_key(labels)
+        self._series[key] = [float(value), registry.now()]
+
+    def add(self, amount: float, **labels: Any) -> None:
+        registry = self.registry
+        if not registry._enabled:
+            return
+        key = _label_key(labels)
+        entry = self._series.get(key)
+        if entry is None:
+            entry = self._series[key] = [0.0, 0.0]
+        entry[0] += amount
+        entry[1] = registry.now()
+
+    def value(self, **labels: Any) -> float:
+        entry = self._series.get(_label_key(labels))
+        return entry[0] if entry else 0.0
+
+    def items(self) -> Iterator[Tuple[Dict[str, str], float]]:
+        for key, entry in sorted(self._series.items()):
+            yield dict(key), entry[0]
+
+    def clear(self) -> None:
+        self._series.clear()
+
+    def samples(self) -> List[dict]:
+        return [
+            {"name": self.name, "type": self.kind, "labels": dict(key),
+             "value": entry[0], "t": entry[1]}
+            for key, entry in sorted(self._series.items())
+        ]
+
+
+@dataclass
+class HistogramSnapshot:
+    """Read-back view of one histogram series."""
+
+    count: int
+    sum: float
+    minimum: Optional[float]
+    maximum: Optional[float]
+    #: Parallel to ``bounds`` plus a final +Inf bucket: per-bucket counts
+    #: (NOT cumulative).
+    bucket_counts: Tuple[int, ...]
+    bounds: Tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(
+            list(self.bounds) + [float("inf")], self.bucket_counts
+        ):
+            running += count
+            out.append((bound, running))
+        return out
+
+
+class _HistSeries:
+    __slots__ = ("counts", "sum", "count", "minimum", "maximum", "updated")
+
+    def __init__(self, num_buckets: int):
+        self.counts = [0] * num_buckets
+        self.sum = 0.0
+        self.count = 0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.updated = 0.0
+
+
+class Histogram(Metric):
+    """Fixed-bucket distribution (latencies, sizes)."""
+
+    kind = "histogram"
+
+    #: Powers-of-two microsecond-ish ladder; override per instrument.
+    DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                       500.0, 1000.0, 2500.0, 5000.0, 10000.0)
+
+    def __init__(self, registry, name, help="", unit="",
+                 buckets: Optional[Sequence[float]] = None):
+        super().__init__(registry, name, help, unit)
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else self.DEFAULT_BUCKETS))
+        if not bounds:
+            raise MetricsError(f"histogram {self.name} needs buckets")
+        self.bounds = bounds
+        self._series: Dict[LabelKey, _HistSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        registry = self.registry
+        if not registry._enabled:
+            return
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistSeries(len(self.bounds) + 1)
+        value = float(value)
+        series.counts[bisect_left(self.bounds, value)] += 1
+        series.sum += value
+        series.count += 1
+        if series.minimum is None or value < series.minimum:
+            series.minimum = value
+        if series.maximum is None or value > series.maximum:
+            series.maximum = value
+        series.updated = registry.now()
+
+    def snapshot(self, **labels: Any) -> HistogramSnapshot:
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return HistogramSnapshot(0, 0.0, None, None,
+                                     (0,) * (len(self.bounds) + 1), self.bounds)
+        return HistogramSnapshot(
+            series.count, series.sum, series.minimum, series.maximum,
+            tuple(series.counts), self.bounds,
+        )
+
+    def total_count(self) -> int:
+        return sum(series.count for series in self._series.values())
+
+    def items(self) -> Iterator[Tuple[Dict[str, str], HistogramSnapshot]]:
+        for key in sorted(self._series):
+            yield dict(key), self.snapshot(**dict(key))
+
+    def clear(self) -> None:
+        self._series.clear()
+
+    def samples(self) -> List[dict]:
+        out = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            snap = self.snapshot(**dict(key))
+            out.append({
+                "name": self.name, "type": self.kind, "labels": dict(key),
+                "count": snap.count, "sum": snap.sum,
+                "min": snap.minimum, "max": snap.maximum,
+                "buckets": [[b, c] for b, c in snap.cumulative()],
+                "t": series.updated,
+            })
+        return out
+
+
+class MetricsRegistry:
+    """The process-wide instrument collection.
+
+    Disabled by default; :meth:`enable` / :meth:`session` turn recording
+    on.  Instruments survive across sessions (they are module-level
+    handles); :meth:`reset` clears recorded series without forgetting
+    the registrations.
+    """
+
+    def __init__(self):
+        self._enabled = False
+        self._clock: Optional[Callable[[], float]] = None
+        self._metrics: Dict[str, Metric] = {}
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self, clock: Optional[Callable[[], float]] = None) -> None:
+        if clock is not None:
+            self._clock = clock
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        """Bind the (simulated) time source used to stamp samples."""
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def reset(self) -> None:
+        """Clear all recorded series (registrations are kept)."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    @contextmanager
+    def session(
+        self, clock: Optional[Callable[[], float]] = None
+    ) -> Iterator["MetricsRegistry"]:
+        """Record within a ``with`` block: reset, enable, then disable.
+
+        Recorded series stay readable after the block exits.
+        """
+        self.reset()
+        self.enable(clock)
+        try:
+            yield self
+        finally:
+            self.disable()
+
+    # -- registration ---------------------------------------------------
+
+    def _register(self, cls, name: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricsError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(self, name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", unit: str = "") -> Counter:
+        return self._register(Counter, name, help=help, unit=unit)
+
+    def gauge(self, name: str, help: str = "", unit: str = "") -> Gauge:
+        return self._register(Gauge, name, help=help, unit=unit)
+
+    def histogram(self, name: str, help: str = "", unit: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._register(Histogram, name, help=help, unit=unit,
+                              buckets=buckets)
+
+    # -- reading --------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def metrics(self) -> List[Metric]:
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def collect(self) -> List[dict]:
+        """Every series of every instrument, flattened for export."""
+        out: List[dict] = []
+        for metric in self.metrics():
+            out.extend(metric.samples())
+        return out
+
+
+#: The process-wide registry the protocol layers record into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,210 @@
+"""Round spans: one record per CCS round, assembled from trace events.
+
+A *round span* follows a single consistent-clock-synchronization round
+from the ``gettimeofday()`` interposition point through multicast, total
+ordering and delivery:
+
+* ``round.start``      — the clock operation began (proposal computed);
+* ``round.sent``       — our CCS message was handed to Totem;
+* ``round.won``        — the round's winning CCS message was ordered and
+  delivered here (fields carry the synchronizer's identity);
+* ``round.suppressed`` — our queued CCS message was withdrawn because
+  another replica's proposal beat it to the wire;
+* ``round.adopted``    — a recovering replica adopted the group value;
+* ``round.complete``   — the group clock value was returned to the
+  application (fields carry latency and the recomputed offset).
+
+The tracker subscribes to :data:`repro.trace.TRACER` and merges these
+events by ``(node, thread, round)`` key, in whatever order they arrive —
+on a slow replica the winner is often ordered *before* the local round
+starts (the input-buffer short-circuit of Figure 2, line 11).
+
+Usage::
+
+    from repro.obs import RoundSpanTracker
+
+    with RoundSpanTracker() as tracker:
+        ...run a scenario...
+    for span in tracker.completed():
+        print(span.node, span.round_number, span.latency_us, span.winner)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import trace
+
+
+@dataclass
+class RoundSpan:
+    """The lifecycle of one CCS round at one replica."""
+
+    node: str
+    thread: str
+    round_number: int
+    #: Simulated-time bounds (seconds); None until observed.
+    started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    #: The local proposal and the winning group value (microseconds).
+    proposal_us: Optional[int] = None
+    group_us: Optional[int] = None
+    #: The round's synchronizer (the sender of the winning CCS message).
+    winner: Optional[str] = None
+    #: my_clock_offset after the round committed (microseconds).
+    offset_us: Optional[int] = None
+    #: The interposed call that started the round (gettimeofday, ...).
+    call: Optional[str] = None
+    #: True if our CCS message was handed to Totem.
+    sent: bool = False
+    #: True if our queued CCS message was withdrawn (duplicate suppression).
+    suppressed: bool = False
+    #: True if the winner was already buffered when the round started
+    #: (no CCS message constructed at all).
+    from_buffer: bool = False
+    #: True for special recovery rounds (offset adopted mid-recovery).
+    adopted: bool = False
+    #: Raw constituent events (populated only with ``keep_events=True``).
+    events: List[trace.TraceEvent] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def won_locally(self) -> bool:
+        """True if this replica was the round's synchronizer."""
+        return self.winner == self.node
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return (self.completed_at - self.started_at) * 1e6
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "thread": self.thread,
+            "round": self.round_number,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "latency_us": self.latency_us,
+            "proposal_us": self.proposal_us,
+            "group_us": self.group_us,
+            "winner": self.winner,
+            "won_locally": self.won_locally,
+            "offset_us": self.offset_us,
+            "call": self.call,
+            "sent": self.sent,
+            "suppressed": self.suppressed,
+            "from_buffer": self.from_buffer,
+            "adopted": self.adopted,
+        }
+
+
+SpanKey = Tuple[str, str, int]
+
+
+class RoundSpanTracker:
+    """Builds :class:`RoundSpan` records from the live trace stream."""
+
+    def __init__(self, *, keep_events: bool = False,
+                 tracer: Optional[trace.Tracer] = None):
+        self.keep_events = keep_events
+        self.tracer = tracer or trace.TRACER
+        self._open: Dict[SpanKey, RoundSpan] = {}
+        self._completed: List[RoundSpan] = []
+        self._unsubscribe = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self) -> "RoundSpanTracker":
+        if self._unsubscribe is None:
+            self._unsubscribe = self.tracer.subscribe(self._on_event)
+        return self
+
+    def detach(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    def __enter__(self) -> "RoundSpanTracker":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- reading --------------------------------------------------------
+
+    def completed(self) -> List[RoundSpan]:
+        """Spans whose round returned a value to the application."""
+        return list(self._completed)
+
+    def open_spans(self) -> List[RoundSpan]:
+        """Rounds still in flight (or observed only via delivery)."""
+        return list(self._open.values())
+
+    def all_spans(self) -> List[RoundSpan]:
+        return self.completed() + self.open_spans()
+
+    def latencies_us(self) -> List[float]:
+        return [s.latency_us for s in self._completed
+                if s.latency_us is not None]
+
+    def winner_counts(self) -> Dict[str, int]:
+        """Rounds decided per synchronizer, over completed spans."""
+        counts: Dict[str, int] = {}
+        for span in self._completed:
+            if span.winner is not None:
+                counts[span.winner] = counts.get(span.winner, 0) + 1
+        return counts
+
+    # -- event assembly -------------------------------------------------
+
+    def _span(self, event: trace.TraceEvent) -> Optional[RoundSpan]:
+        thread = event.fields.get("thread")
+        round_number = event.fields.get("round")
+        if thread is None or round_number is None:
+            return None
+        key = (event.node, thread, round_number)
+        span = self._open.get(key)
+        if span is None:
+            span = self._open[key] = RoundSpan(event.node, thread,
+                                               round_number)
+        return span
+
+    def _on_event(self, event: trace.TraceEvent) -> None:
+        if not event.kind.startswith("round."):
+            return
+        span = self._span(event)
+        if span is None:
+            return
+        if self.keep_events:
+            span.events.append(event)
+        fields = event.fields
+        kind = event.kind
+        if kind == "round.start":
+            span.started_at = fields.get("t")
+            span.proposal_us = fields.get("proposal_us")
+            span.call = fields.get("call")
+            span.from_buffer = bool(fields.get("buffered"))
+        elif kind == "round.sent":
+            span.sent = True
+        elif kind == "round.won":
+            span.winner = fields.get("winner")
+            span.group_us = fields.get("group_us")
+        elif kind == "round.suppressed":
+            span.suppressed = True
+        elif kind == "round.adopted":
+            span.adopted = True
+            span.offset_us = fields.get("offset_us")
+        elif kind == "round.complete":
+            span.completed_at = fields.get("t")
+            if fields.get("group_us") is not None:
+                span.group_us = fields.get("group_us")
+            span.offset_us = fields.get("offset_us", span.offset_us)
+            key = (span.node, span.thread, span.round_number)
+            self._open.pop(key, None)
+            self._completed.append(span)

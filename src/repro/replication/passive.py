@@ -19,12 +19,31 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Tuple
 
-from .. import trace
+from .. import obs, trace
 from .envelope import Envelope, MsgType, make_envelope
 from .group import GroupRuntime, GroupView
 from .replica import Application, Replica
 from .state_transfer import Checkpoint
 from .timesource import TimeSource
+
+
+# -- observability instruments (zero-cost while the registry is off) ----
+M_CHECKPOINTS = obs.REGISTRY.counter(
+    "replication_checkpoints_total", "checkpoints multicast by a primary")
+M_CHECKPOINT_BYTES = obs.REGISTRY.histogram(
+    "replication_checkpoint_bytes", "estimated checkpoint wire size",
+    unit="bytes", buckets=(64, 128, 256, 512, 1_024, 4_096, 16_384, 65_536))
+M_PROMOTIONS = obs.REGISTRY.counter(
+    "replication_promotions_total", "backup-to-primary promotions")
+M_TAKEOVER_LATENCY = obs.REGISTRY.histogram(
+    "replication_takeover_latency_s",
+    "last evidence of the old primary to promotion of the new one",
+    unit="s",
+    buckets=(0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0))
+M_REPLAY_DEPTH = obs.REGISTRY.histogram(
+    "replication_promotion_replay_depth",
+    "logged requests replayed at promotion",
+    buckets=(0, 1, 2, 5, 10, 25, 50, 100, 250))
 
 
 class PassiveReplica(Replica):
@@ -52,6 +71,10 @@ class PassiveReplica(Replica):
         #: if primary; covered by an applied checkpoint if backup).
         self.processed_index = 0
         self._was_primary = False
+        #: Simulated time of the last evidence of a *different* primary
+        #: (view membership or an applied checkpoint) — the baseline for
+        #: the failover takeover-latency measurement.
+        self._primary_evidence_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Request handling
@@ -90,18 +113,21 @@ class PassiveReplica(Replica):
             time_state=self.time_source.get_transfer_state(),
             processed_index=self.processed_index,
         )
-        self.endpoint.mcast(
-            make_envelope(
-                MsgType.CHECKPOINT,
-                self.group,
-                self.group,
-                0,
-                self.processed_index,
-                self.node_id,
-                body=checkpoint,
-            )
+        envelope = make_envelope(
+            MsgType.CHECKPOINT,
+            self.group,
+            self.group,
+            0,
+            self.processed_index,
+            self.node_id,
+            body=checkpoint,
         )
+        self.endpoint.mcast(envelope)
         self.stats.checkpoints_sent += 1
+        if obs.REGISTRY.enabled:
+            M_CHECKPOINTS.inc(node=self.node_id)
+            M_CHECKPOINT_BYTES.observe(envelope.wire_size(),
+                                       node=self.node_id)
         if trace.TRACER.enabled:
             trace.emit(
                 "replica.checkpoint", self.node_id, group=self.group,
@@ -111,6 +137,7 @@ class PassiveReplica(Replica):
     def _handle_checkpoint(self, envelope: Envelope) -> None:
         if envelope.sender == self.node_id:
             return  # our own checkpoint echoed back
+        self._primary_evidence_at = self.sim.now
         checkpoint: Checkpoint = envelope.body
         self.app.set_state(checkpoint.app_state)
         self.processed_index = checkpoint.processed_index
@@ -130,21 +157,31 @@ class PassiveReplica(Replica):
     def _view_changed(self, view: GroupView) -> None:
         if self.is_primary and not self._was_primary and self.state_transfer.ready:
             self._promote()
+        elif view.primary is not None and view.primary != self.node_id:
+            self._primary_evidence_at = self.sim.now
         self._was_primary = self.is_primary
 
     def _promote(self) -> None:
         """Become the primary: replay logged requests beyond the last
         checkpoint, then continue with live traffic."""
         self.stats.promotions += 1
-        if trace.TRACER.enabled:
-            trace.emit(
-                "replica.promote", self.node_id, group=self.group,
-                replay_from=self.processed_index,
-            )
         backlog = [
             (index, env) for index, env in self.request_log
             if index > self.processed_index
         ]
+        if obs.REGISTRY.enabled:
+            M_PROMOTIONS.inc(node=self.node_id)
+            M_REPLAY_DEPTH.observe(len(backlog), node=self.node_id)
+            if self._primary_evidence_at is not None:
+                M_TAKEOVER_LATENCY.observe(
+                    self.sim.now - self._primary_evidence_at,
+                    node=self.node_id)
+        if trace.TRACER.enabled:
+            trace.emit(
+                "replica.promote", self.node_id, group=self.group,
+                replay_from=self.processed_index, replay_depth=len(backlog),
+                t=self.sim.now,
+            )
         self.request_log = []
         for index, envelope in backlog:
             self.request_queue.put((envelope, index))

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
-from .. import trace
+from .. import obs, trace
 from ..errors import StateTransferError
 from .envelope import Envelope, MsgType, make_envelope
 
@@ -58,6 +58,22 @@ DISCARDING = "discarding"
 QUEUING = "queuing"
 READY = "ready"
 
+# -- observability instruments (zero-cost while the registry is off) ----
+M_TRANSFERS_SERVED = obs.REGISTRY.counter(
+    "replication_state_transfers_served_total",
+    "checkpoints served to recovering replicas")
+M_TRANSFERS_APPLIED = obs.REGISTRY.counter(
+    "replication_state_transfers_applied_total",
+    "checkpoints adopted by recovering replicas")
+M_TRANSFER_BYTES = obs.REGISTRY.histogram(
+    "replication_state_transfer_bytes",
+    "estimated state-transfer wire size", unit="bytes",
+    buckets=(64, 128, 256, 512, 1_024, 4_096, 16_384, 65_536))
+M_TRANSFER_LATENCY = obs.REGISTRY.histogram(
+    "replication_state_transfer_latency_s",
+    "GET_STATE request to checkpoint adoption", unit="s",
+    buckets=(0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0))
+
 
 class StateTransferManager:
     """Handles GET_STATE / STATE for one replica."""
@@ -68,6 +84,8 @@ class StateTransferManager:
         #: Messages buffered between GET_STATE and STATE.
         self.pending: List[Envelope] = []
         self.transfers_served = 0
+        #: Simulated time of our last GET_STATE request (latency metric).
+        self._requested_at: Optional[float] = None
 
     @property
     def ready(self) -> bool:
@@ -86,6 +104,8 @@ class StateTransferManager:
     def request_state(self) -> None:
         """Ask the group for a checkpoint (recovering replica)."""
         replica = self.replica
+        if self._requested_at is None:
+            self._requested_at = replica.sim.now
         replica.time_source.begin_recovery()
         replica.endpoint.mcast(
             make_envelope(
@@ -122,6 +142,7 @@ class StateTransferManager:
         which other members kept processing."""
         self.phase = DISCARDING
         self.pending = []
+        self._requested_at = None
         # Any clock operation still blocked belongs to the abandoned
         # protocol position; replaying it would consume the wrong round.
         self.replica.time_source.abort_in_flight()
@@ -155,11 +176,18 @@ class StateTransferManager:
             replica.time_source.set_transfer_state(checkpoint.time_state)
         replica.time_source.finish_recovery()
         self.phase = READY
+        if obs.REGISTRY.enabled:
+            M_TRANSFERS_APPLIED.inc(node=replica.node_id)
+            if self._requested_at is not None:
+                M_TRANSFER_LATENCY.observe(
+                    replica.sim.now - self._requested_at,
+                    node=replica.node_id)
+        self._requested_at = None
         if trace.TRACER.enabled:
             trace.emit(
                 "state.applied", replica.node_id, group=replica.group,
                 request_index=checkpoint.request_index,
-                replayed=len(self.pending),
+                replayed=len(self.pending), t=replica.sim.now,
             )
         pending, self.pending = self.pending, []
         for queued in pending:
@@ -190,20 +218,24 @@ class StateTransferManager:
             extra=replica.capture_extra_state(),
         )
         self.transfers_served += 1
-        replica.endpoint.mcast(
-            make_envelope(
-                MsgType.STATE,
-                replica.group,
-                replica.group,
-                0,
-                self.transfers_served,
-                replica.node_id,
-                body={"target": target, "checkpoint": checkpoint},
-            )
+        envelope = make_envelope(
+            MsgType.STATE,
+            replica.group,
+            replica.group,
+            0,
+            self.transfers_served,
+            replica.node_id,
+            body={"target": target, "checkpoint": checkpoint},
         )
+        replica.endpoint.mcast(envelope)
+        if obs.REGISTRY.enabled:
+            M_TRANSFERS_SERVED.inc(node=replica.node_id)
+            M_TRANSFER_BYTES.observe(envelope.wire_size(),
+                                     node=replica.node_id)
         if trace.TRACER.enabled:
             trace.emit(
                 "state.served", replica.node_id, group=replica.group,
                 target=target, request_index=checkpoint.request_index,
+                t=replica.sim.now,
             )
         replica.after_state_served(checkpoint)

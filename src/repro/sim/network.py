@@ -20,8 +20,20 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from .. import obs
 from ..errors import NetworkError
 from .kernel import Simulator
+
+# -- observability instruments (zero-cost while the registry is off) ----
+M_FRAMES_SENT = obs.REGISTRY.counter(
+    "net_frames_sent_total", "frames handed to the LAN per interface")
+M_BYTES_SENT = obs.REGISTRY.counter(
+    "net_bytes_sent_total", "payload bytes handed to the LAN per interface",
+    unit="bytes")
+M_FRAMES_RECEIVED = obs.REGISTRY.counter(
+    "net_frames_received_total", "frames delivered per interface")
+M_FRAMES_DROPPED = obs.REGISTRY.counter(
+    "net_frames_dropped_total", "frames lost to the configured loss rate")
 
 
 @dataclass
@@ -93,6 +105,9 @@ class Interface:
             raise NetworkError(f"interface {self.node_id!r} is down")
         self.frames_sent += 1
         self.bytes_sent += size_bytes
+        if obs.REGISTRY.enabled:
+            M_FRAMES_SENT.inc(node=self.node_id)
+            M_BYTES_SENT.inc(size_bytes, node=self.node_id)
 
     # -- receiving ----------------------------------------------------------
 
@@ -100,6 +115,8 @@ class Interface:
         if not self.up:
             return
         self.frames_received += 1
+        if obs.REGISTRY.enabled:
+            M_FRAMES_RECEIVED.inc(node=self.node_id)
         self._deliver(frame)
 
 
@@ -179,6 +196,8 @@ class Network:
                 continue
             if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
                 self.frames_dropped += 1
+                if obs.REGISTRY.enabled:
+                    M_FRAMES_DROPPED.inc()
                 continue
             delay = self.latency.sample(self.rng, frame.size_bytes)
             # Loopback delivery of one's own multicast is local (no wire).

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Union
 
+from . import obs
 from .baselines import (
     LocalClockSource,
     NtpDisciplinedSource,
@@ -77,6 +78,8 @@ class Testbed:
         config = cluster_config or ClusterConfig(num_nodes=num_nodes)
         self.cluster = Cluster(config, seed=seed)
         self.sim = self.cluster.sim
+        # Metric samples are stamped in this cluster's simulated time.
+        obs.REGISTRY.set_clock(lambda: self.sim.now)
         self.totem_config = totem_config or TotemConfig()
         self.processors: Dict[str, TotemProcessor] = {}
         self.runtimes: Dict[str, GroupRuntime] = {}

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
-from .. import trace
+from .. import obs, trace
 from .messages import (
     CommitMemberInfo,
     CommitToken,
@@ -47,6 +47,17 @@ from .messages import (
     RingId,
 )
 from .ring import ProcessorState
+
+
+# -- observability instruments (zero-cost while the registry is off) ----
+M_GATHERS = obs.REGISTRY.counter(
+    "totem_membership_gathers_total", "gather phases entered")
+M_INSTALLS = obs.REGISTRY.counter(
+    "totem_membership_installs_total", "rings installed")
+M_MEMBERSHIP_DURATION = obs.REGISTRY.histogram(
+    "totem_membership_duration_s",
+    "gather start to ring installation", unit="s",
+    buckets=(0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0))
 
 
 class MembershipEngine:
@@ -69,6 +80,8 @@ class MembershipEngine:
         self.heard: Set[str] = set()
         self.tick = 0
         self._tick_gen = 0
+        #: When the current reconfiguration began (for install durations).
+        self._gather_started_at: Optional[float] = None
 
         # -- commit/recover state -------------------------------------------
         self.commit: Optional[CommitToken] = None
@@ -111,8 +124,12 @@ class MembershipEngine:
         self._rtr_requested = {}
         self._commit_last_token_seq = 0
         self._last_sent_commit = None
+        self._gather_started_at = self.p.sim.now
+        if obs.REGISTRY.enabled:
+            M_GATHERS.inc(node=self.p.me)
         if trace.TRACER.enabled:
-            trace.emit("membership.gather", self.p.me, reason=reason)
+            trace.emit("membership.gather", self.p.me, reason=reason,
+                       t=self.p.sim.now)
         self._broadcast_join()
         self._arm_tick()
 
@@ -391,12 +408,22 @@ class MembershipEngine:
         p.install_ring(token.ring_id, token.members)
         self.old_members = token.members
         self.phase = self.IDLE
+        duration_s = (
+            p.sim.now - self._gather_started_at
+            if self._gather_started_at is not None else None
+        )
+        if obs.REGISTRY.enabled:
+            M_INSTALLS.inc(node=p.me)
+            if duration_s is not None:
+                M_MEMBERSHIP_DURATION.observe(duration_s, node=p.me)
         if trace.TRACER.enabled:
             trace.emit(
                 "membership.install", p.me, ring=str(token.ring_id),
                 members=",".join(token.members),
-                primary=change.is_primary,
+                primary=change.is_primary, duration_s=duration_s,
+                t=p.sim.now,
             )
+        self._gather_started_at = None
         p.deliver_config_change(change)
 
     def _is_primary(self, members: Set[str]) -> bool:

@@ -31,6 +31,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from collections import deque
 
+from .. import obs, trace
 from ..errors import TotemError
 from ..sim.node import Node
 from .config import TotemConfig
@@ -44,6 +45,30 @@ from .messages import (
     RingBeacon,
     RingId,
 )
+
+
+# -- observability instruments (zero-cost while the registry is off) ----
+M_MULTICAST = obs.REGISTRY.counter(
+    "totem_messages_multicast_total", "regular messages broadcast on the ring")
+M_RETRANSMIT = obs.REGISTRY.counter(
+    "totem_retransmissions_total", "regular messages retransmitted (rtr served)")
+M_TOKENS = obs.REGISTRY.counter(
+    "totem_tokens_forwarded_total", "token visits forwarded to the successor")
+M_TOKEN_RETRANSMIT = obs.REGISTRY.counter(
+    "totem_token_retransmissions_total",
+    "token retransmissions after missing progress evidence")
+M_DELIVERED = obs.REGISTRY.counter(
+    "totem_messages_delivered_total", "messages delivered in agreed order")
+M_CANCELLED = obs.REGISTRY.counter(
+    "totem_sends_cancelled_total",
+    "queued payloads withdrawn before transmission")
+M_FLOW_DEFERRALS = obs.REGISTRY.counter(
+    "totem_flow_control_deferrals_total",
+    "token visits that left payloads queued (window exhausted)")
+M_TOKEN_INTERVAL = obs.REGISTRY.histogram(
+    "totem_token_rotation_us", "interval between token visits at one node",
+    unit="us",
+    buckets=(50, 100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600))
 
 
 class ProcessorState(enum.Enum):
@@ -123,6 +148,8 @@ class TotemProcessor:
         #: Timestamps of token arrivals (for calibration measurements);
         #: populated only when the config asks for it.
         self.token_arrival_times: List[float] = []
+        #: Previous token arrival, for the rotation-interval histogram.
+        self._last_token_at: Optional[float] = None
 
         # -- application callbacks ---------------------------------------
         self.on_deliver: Optional[Callable[[RegularMessage], None]] = None
@@ -185,6 +212,8 @@ class TotemProcessor:
         cancelled = len(self.send_queue) - len(kept)
         self.send_queue = kept
         self.stats.sends_cancelled += cancelled
+        if cancelled and obs.REGISTRY.enabled:
+            M_CANCELLED.inc(cancelled, node=self.me)
         return cancelled
 
     @property
@@ -274,6 +303,8 @@ class TotemProcessor:
             if isinstance(msg.payload, LostMessage):
                 continue  # recovery tombstone: skipped everywhere alike
             self.stats.messages_delivered += 1
+            if obs.REGISTRY.enabled:
+                M_DELIVERED.inc(node=self.me)
             if self.on_deliver is not None:
                 self.on_deliver(msg)
 
@@ -294,6 +325,10 @@ class TotemProcessor:
         self.last_token_seq = token.token_seq
         if self.config.record_token_times:
             self.token_arrival_times.append(self.sim.now)
+        if obs.REGISTRY.enabled and self._last_token_at is not None:
+            M_TOKEN_INTERVAL.observe(
+                (self.sim.now - self._last_token_at) * 1e6, node=self.me)
+        self._last_token_at = self.sim.now
         self._token_evidence()
         # Simulated CPU cost of the token visit, then forward.
         self.sim.schedule(self.config.token_processing_s, self._process_token, token)
@@ -315,6 +350,14 @@ class TotemProcessor:
             if msg is not None:
                 self.multicast_raw(replace(msg, retransmission=True))
                 self.stats.retransmissions += 1
+                if obs.REGISTRY.enabled:
+                    M_RETRANSMIT.inc(node=self.me)
+                if trace.TRACER.enabled:
+                    trace.emit(
+                        "totem.retransmit", self.me, seq=seq,
+                        ring=str(self.ring.ring_id),
+                        token_seq=token.token_seq,
+                    )
                 rtr.discard(seq)
 
         # 2. Broadcast new messages within the flow-control window.
@@ -331,6 +374,18 @@ class TotemProcessor:
             self.multicast_raw(msg)
             self.stats.messages_multicast += 1
             sent += 1
+        if obs.REGISTRY.enabled and sent:
+            M_MULTICAST.inc(sent, node=self.me)
+        if self.send_queue and sent >= self.config.window_size:
+            # Flow control: the window closed with payloads still queued.
+            if obs.REGISTRY.enabled:
+                M_FLOW_DEFERRALS.inc(node=self.me)
+            if trace.TRACER.enabled:
+                trace.emit(
+                    "totem.flow_control", self.me, seq=new_seq,
+                    deferred=len(self.send_queue),
+                    window=self.config.window_size,
+                )
         self._try_deliver()
 
         # 3. Request retransmission of anything we are missing.
@@ -382,6 +437,14 @@ class TotemProcessor:
         successor = self.ring.successor(self.me)
         self.unicast_raw(successor, token)
         self.stats.tokens_forwarded += 1
+        if obs.REGISTRY.enabled:
+            M_TOKENS.inc(node=self.me)
+        if trace.TRACER.enabled:
+            trace.emit(
+                "totem.token.forward", self.me, to=successor,
+                token_seq=token.token_seq, seq=token.seq, aru=token.aru,
+                rtr=len(token.rtr), ring=str(token.ring_id),
+            )
         self._last_sent_token = token
         self._retransmit_count = 0
         self._arm_token_retransmit()
@@ -451,6 +514,15 @@ class TotemProcessor:
             return  # give up; the token-loss timeout will trigger membership
         self._retransmit_count += 1
         self.stats.token_retransmissions += 1
+        if obs.REGISTRY.enabled:
+            M_TOKEN_RETRANSMIT.inc(node=self.me)
+        if trace.TRACER.enabled:
+            trace.emit(
+                "totem.token.retransmit", self.me,
+                token_seq=self._last_sent_token.token_seq,
+                attempt=self._retransmit_count,
+                ring=str(self._last_sent_token.ring_id),
+            )
         self.unicast_raw(self.ring.successor(self.me), self._last_sent_token)
         self._arm_token_retransmit()
 
@@ -470,6 +542,7 @@ class TotemProcessor:
         self.last_token_seq = 0
         self._prev_visit_aru = 0
         self._last_sent_token = None
+        self._last_token_at = None
         self.state = ProcessorState.OPERATIONAL
         self.stats.membership_changes += 1
         self._arm_token_loss()

@@ -42,6 +42,21 @@ class TraceEvent:
         return f"[{self.node}] {self.kind} {details}"
 
 
+class _Subscription:
+    """One registration of a sink.
+
+    A unique token per ``subscribe()`` call: unsubscribing is scoped to
+    this registration, so subscribing the same callable twice yields two
+    independent handles and releasing one (even repeatedly) never strips
+    the other.
+    """
+
+    __slots__ = ("sink",)
+
+    def __init__(self, sink: Callable[[TraceEvent], None]):
+        self.sink = sink
+
+
 class Tracer:
     """A fan-out sink for trace events.
 
@@ -50,19 +65,23 @@ class Tracer:
     """
 
     def __init__(self):
-        self._sinks: List[Callable[[TraceEvent], None]] = []
+        self._sinks: List[_Subscription] = []
 
     @property
     def enabled(self) -> bool:
         return bool(self._sinks)
 
     def subscribe(self, sink: Callable[[TraceEvent], None]) -> Callable[[], None]:
-        """Attach a sink; returns an unsubscribe function."""
-        self._sinks.append(sink)
+        """Attach a sink; returns an idempotent unsubscribe function
+        scoped to this registration."""
+        entry = _Subscription(sink)
+        self._sinks.append(entry)
 
         def unsubscribe() -> None:
-            if sink in self._sinks:
-                self._sinks.remove(sink)
+            try:
+                self._sinks.remove(entry)
+            except ValueError:
+                pass  # already unsubscribed
 
         return unsubscribe
 
@@ -71,8 +90,8 @@ class Tracer:
         if not self._sinks:
             return
         event = TraceEvent(kind, node, fields)
-        for sink in list(self._sinks):
-            sink(event)
+        for entry in list(self._sinks):
+            entry.sink(event)
 
     @contextmanager
     def capture(

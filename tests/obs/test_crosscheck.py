@@ -1,0 +1,106 @@
+"""Cross-checks: registry-derived protocol counts must equal the
+wire-level statistics the benchmark harness reports.
+
+This is the acceptance gate for the telemetry subsystem — the metrics
+must *agree with* the numbers the evaluation tables are built from, not
+merely resemble them.
+"""
+
+import pytest
+
+from repro import obs
+from repro.workloads import run_latency_workload
+
+from support import ClockApp, call_n, make_testbed  # noqa: E402
+
+
+@pytest.fixture
+def ccs_run():
+    """One CCS workload recorded by the registry and the span tracker."""
+    tracker = obs.RoundSpanTracker()
+    with obs.REGISTRY.session(), tracker:
+        run = run_latency_workload(time_source="cts", invocations=80, seed=11)
+    return run, tracker
+
+
+class TestCcsCountsMatchHarness:
+    def test_transmitted_equals_sent_minus_suppressed(self, ccs_run):
+        run, _ = ccs_run
+        sent = obs.REGISTRY.get("ccs_sent_total")
+        suppressed = obs.REGISTRY.get("ccs_suppressed_total")
+        derived = {
+            node: sent.value(node=node) - suppressed.value(node=node)
+            for node in run.ccs_transmitted
+        }
+        assert derived == {node: float(count)
+                           for node, count in run.ccs_transmitted.items()}
+
+    def test_total_transmitted_equals_rounds(self, ccs_run):
+        run, _ = ccs_run
+        sent = obs.REGISTRY.get("ccs_sent_total")
+        suppressed = obs.REGISTRY.get("ccs_suppressed_total")
+        assert sent.total() - suppressed.total() == run.rounds
+
+    def test_round_latency_histogram_populated(self, ccs_run):
+        run, _ = ccs_run
+        histogram = obs.REGISTRY.get("cts_round_latency_us")
+        # Each of the three replicas completes (at least) one round per
+        # application invocation; recovery rounds add a few more, but a
+        # late joiner may miss the earliest ones.
+        assert histogram.total_count() >= 3 * run.invocations
+        for node in run.ccs_transmitted:
+            snapshot = histogram.snapshot(node=node)
+            assert snapshot.count >= run.invocations
+            assert snapshot.sum >= 0.0
+
+    def test_spans_agree_with_round_counters(self, ccs_run):
+        _, tracker = ccs_run
+        rounds = obs.REGISTRY.get("ccs_rounds_total")
+        spans = tracker.completed()
+        # One completed span per completed round per replica.
+        assert len(spans) == int(rounds.total())
+        sent_spans = sum(1 for s in spans if s.sent and not s.suppressed)
+        sent = obs.REGISTRY.get("ccs_sent_total")
+        suppressed = obs.REGISTRY.get("ccs_suppressed_total")
+        assert sent_spans == int(sent.total() - suppressed.total())
+
+    def test_winner_counts_sum_to_rounds(self, ccs_run):
+        run, tracker = ccs_run
+        winners = tracker.winner_counts()
+        # Every completed span names its synchronizer.
+        assert sum(winners.values()) == len(tracker.completed())
+        # Only replicas that transmitted a CCS message can have won rounds.
+        for node, count in winners.items():
+            if count:
+                assert run.ccs_transmitted.get(node, 0) > 0 or count == 0
+
+
+class TestInterfaceCountersMatchNetwork:
+    def test_frames_sent_matches_interface_stats(self):
+        bed = make_testbed(seed=21)
+        bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], time_source="cts")
+        client = bed.client("n0")
+        with obs.REGISTRY.session():
+            bed.start()
+            call_n(bed, client, "svc", "get_time", 5)
+        frames = obs.REGISTRY.get("net_frames_sent_total")
+        bytes_sent = obs.REGISTRY.get("net_bytes_sent_total")
+        for node_id, node in bed.cluster.nodes.items():
+            assert frames.value(node=node_id) == node.iface.frames_sent
+            assert bytes_sent.value(node=node_id) == node.iface.bytes_sent
+
+
+class TestDisabledOverhead:
+    def test_disabled_run_identical_to_baseline(self):
+        """With the registry off the instrumented stack must behave
+        byte-for-byte like the uninstrumented one (same RNG draws, same
+        latencies) — the hooks must be pure observers."""
+        obs.REGISTRY.reset()
+        baseline = run_latency_workload(time_source="cts", invocations=40,
+                                        seed=5)
+        assert obs.REGISTRY.get("ccs_rounds_total").total() == 0
+        with obs.REGISTRY.session():
+            recorded = run_latency_workload(time_source="cts", invocations=40,
+                                            seed=5)
+        assert recorded.latencies_us == baseline.latencies_us
+        assert recorded.ccs_transmitted == baseline.ccs_transmitted

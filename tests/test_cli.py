@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+from repro.obs import export
 
 
 class TestParser:
@@ -18,6 +20,14 @@ class TestParser:
         args = build_parser().parse_args(["fig5"])
         assert args.rounds == 500
         assert args.seed == 0
+        assert args.metrics is None
+        assert args.trace is False
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["ccs", "--metrics", "out.jsonl", "--trace"])
+        assert args.metrics == "out.jsonl"
+        assert args.trace is True
 
 
 class TestCommands:
@@ -67,3 +77,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "EXT-SCALE" in out
         assert "p50 latency" in out
+
+
+class TestObservability:
+    def test_metrics_command_cross_check_passes(self, capsys):
+        assert main(["metrics", "--rounds", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "OBS-SMOKE" in out
+        assert "MISMATCH" not in out
+        assert "round spans:" in out
+
+    def test_metrics_flag_writes_jsonl_and_prometheus(self, tmp_path, capsys):
+        target = tmp_path / "ccs.jsonl"
+        assert main(["ccs", "--rounds", "40",
+                     "--metrics", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert target.exists()
+        prom = tmp_path / "ccs.prom"
+        assert prom.exists()
+        assert str(target) in captured.err
+
+        records = export.read_jsonl(target)
+        kinds = {record["record"] for record in records}
+        assert kinds == {"metric", "trace", "span"}
+        metric_names = {r["name"] for r in records
+                        if r["record"] == "metric"}
+        assert "ccs_sent_total" in metric_names
+        assert "totem_tokens_forwarded_total" in metric_names
+        spans = [r for r in records if r["record"] == "span"]
+        assert spans and all(s["latency_us"] is not None for s in spans)
+
+        text = prom.read_text()
+        assert "# TYPE ccs_sent_total counter" in text
+        assert 'cts_round_latency_us_bucket{le="+Inf"' in text
+        # The registry is switched back off after the export.
+        assert not obs.REGISTRY.enabled
+
+    def test_metrics_flag_fails_fast_on_bad_path(self, capsys):
+        # An unusable export path must be rejected BEFORE the experiment
+        # runs, not crash after wasting the whole run.
+        with pytest.raises(SystemExit):
+            main(["ccs", "--metrics", ""])
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_trace_flag_streams_to_stderr(self, capsys):
+        assert main(["recovery", "--trace"]) == 0
+        captured = capsys.readouterr()
+        assert "membership.install" in captured.err
+        assert "membership.install" not in captured.out
+
+    def test_disabled_by_default_records_nothing(self, capsys):
+        obs.REGISTRY.reset()  # clear residue from earlier enabled runs
+        main(["ccs", "--rounds", "30"])
+        capsys.readouterr()
+        counter = obs.REGISTRY.get("ccs_rounds_total")
+        assert counter is not None
+        assert counter.total() == 0

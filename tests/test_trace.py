@@ -30,6 +30,31 @@ class TestTracerUnit:
         trace.emit("test.kind", "n9")
         assert events == []
 
+    def test_unsubscribe_is_idempotent(self):
+        events = []
+        unsubscribe = trace.subscribe(events.append)
+        unsubscribe()
+        unsubscribe()  # second call must be a harmless no-op
+        trace.emit("test.kind", "n9")
+        assert events == []
+
+    def test_unsubscribe_is_scoped_to_its_registration(self):
+        """Regression: subscribing the same callable twice used to let one
+        unsubscribe handle (called repeatedly) strip both registrations."""
+        events = []
+        first = trace.subscribe(events.append)
+        second = trace.subscribe(events.append)
+        first()
+        first()  # repeat release of the same handle
+        try:
+            trace.emit("test.kind", "n9")
+            # The second registration must still be attached.
+            assert len(events) == 1
+        finally:
+            second()
+        trace.emit("test.kind", "n9")
+        assert len(events) == 1
+
     def test_capture_filters_by_prefix(self):
         with trace.capture(kinds=["a."]) as events:
             trace.emit("a.one", "n1")
@@ -56,6 +81,30 @@ class TestProtocolTraces:
         # Each replica starts each round once.
         starts = [e for e in events if e.kind == "round.start"]
         assert len(starts) == 9  # 3 rounds x 3 replicas
+
+    def test_totem_token_events_emitted(self):
+        bed = make_testbed(seed=174)
+        bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], time_source="cts")
+        client = bed.client("n0")
+        bed.start()
+        with trace.capture(kinds=["totem."]) as events:
+            call_n(bed, client, "svc", "get_time", 3)
+        forwards = [e for e in events if e.kind == "totem.token.forward"]
+        assert forwards, "token circulation must be traced"
+        fields = forwards[0].fields
+        assert {"to", "token_seq", "seq", "aru", "ring"} <= set(fields)
+
+    def test_totem_retransmissions_traced_under_loss(self):
+        bed = make_testbed(seed=175, loss_rate=0.12)
+        bed.deploy("svc", ClockApp, ["n1", "n2", "n3"], time_source="cts")
+        client = bed.client("n0")
+        bed.start(settle=0.5)
+        with trace.capture(kinds=["totem."]) as events:
+            call_n(bed, client, "svc", "get_time", 10, timeout=5.0)
+        kinds = {e.kind for e in events}
+        # With 12% loss some data messages and/or tokens must be re-sent.
+        assert ("totem.retransmit" in kinds
+                or "totem.token.retransmit" in kinds)
 
     def test_membership_events_emitted(self):
         bed = make_testbed(seed=171)
