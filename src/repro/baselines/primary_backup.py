@@ -15,10 +15,12 @@ module is the comparator that exhibits it.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, TYPE_CHECKING
 
 from ..core.interposition import resolve_call
+from ..replication.codec import _pack_str, _unpack_str, register_body_codec
 from ..replication.envelope import Envelope, MsgType, make_envelope
 from ..replication.timesource import TimeSource
 from ..sim.clock import ClockValue
@@ -40,6 +42,22 @@ class ConveyedClockValue:
 
     def wire_size(self) -> int:
         return 32
+
+
+def _encode_conveyed(body: ConveyedClockValue) -> bytes:
+    return _pack_str(body.thread_id) + struct.pack(
+        "<qqB", body.seq, body.micros, body.call_type_id)
+
+
+def _decode_conveyed(buffer: bytes, offset: int):
+    thread_id, offset = _unpack_str(buffer, offset)
+    seq, micros, call_type_id = struct.unpack_from("<qqB", buffer, offset)
+    return ConveyedClockValue(thread_id, seq, micros, call_type_id), offset + 17
+
+
+# Self-registration keeps the baseline transmittable over the live wire
+# without the codec importing this module.
+register_body_codec(16, ConveyedClockValue, _encode_conveyed, _decode_conveyed)
 
 
 class _ThreadBuffer:

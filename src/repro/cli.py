@@ -13,6 +13,13 @@ the benchmark harness produces.  Intended for quick exploration::
     python -m repro metrics              # observability smoke / cross-check
     python -m repro all                  # everything, quick scale
 
+Live mode (see ``docs/live_mode.md``) — real UDP sockets instead of the
+simulator::
+
+    python -m repro serve --node n0 \\
+        --peers n0=127.0.0.1:9000,n1=127.0.0.1:9001,n2=127.0.0.1:9002
+    python -m repro call gettimeofday --connect 127.0.0.1:9000 --expect 3
+
 Observability: every experiment accepts ``--metrics out.jsonl`` (enable
 the metrics registry and dump a JSONL + Prometheus-text export) and
 ``--trace`` (stream protocol trace events to stderr); see
@@ -36,6 +43,7 @@ from .core import (
     NoCompensation,
 )
 from .sim import US_PER_SEC
+from .testbed import STYLES
 from .workloads import (
     failover_comparison,
     run_latency_workload,
@@ -316,6 +324,122 @@ def cmd_metrics(args) -> int:
     return 0 if (matched and populated and spans) else 1
 
 
+def _parse_peer_map(spec: str):
+    """``n0=127.0.0.1:9000,n1=...`` -> {node_id: (host, port)}."""
+    peers = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        try:
+            node_id, address = entry.split("=", 1)
+            host, port = address.rsplit(":", 1)
+            peers[node_id.strip()] = (host.strip(), int(port))
+        except ValueError:
+            raise ValueError(
+                f"bad peer entry {entry!r}; expected name=host:port") from None
+    if not peers:
+        raise ValueError("empty peer map")
+    return peers
+
+
+def _parse_addresses(spec: str):
+    """``host:port[,host:port...]`` -> [(host, port), ...]."""
+    addresses = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        try:
+            host, port = entry.rsplit(":", 1)
+            addresses.append((host.strip(), int(port)))
+        except ValueError:
+            raise ValueError(
+                f"bad address {entry!r}; expected host:port") from None
+    if not addresses:
+        raise ValueError("no server addresses")
+    return addresses
+
+
+def cmd_serve(args) -> int:
+    from .net.daemon import DaemonConfig, NodeDaemon
+
+    if not args.node or not args.peers:
+        print("serve requires --node and --peers (name=host:port,...)",
+              file=sys.stderr)
+        return 2
+    try:
+        peers = _parse_peer_map(args.peers)
+    except ValueError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    config = DaemonConfig(
+        node_id=args.node,
+        peers=peers,
+        group=args.group,
+        style=args.style,
+        clock_epoch_us=args.clock_offset_us,
+        clock_drift_ppm=args.clock_drift_ppm,
+        join_existing=args.join,
+    )
+    try:
+        daemon = NodeDaemon(config)
+    except KeyError as error:
+        print(f"serve: {error.args[0]}", file=sys.stderr)
+        return 2
+    daemon.serve_forever()
+    return 0
+
+
+def cmd_call(args) -> int:
+    from .net.client import LiveCaller
+
+    if not args.connect:
+        print("call requires --connect host:port[,host:port...]",
+              file=sys.stderr)
+        return 2
+    method = args.target or "gettimeofday"
+    try:
+        servers = _parse_addresses(args.connect)
+    except ValueError as error:
+        print(f"call: {error}", file=sys.stderr)
+        return 2
+    from .errors import RpcTimeout
+
+    caller = LiveCaller(servers, group=args.group)
+    status = 0
+    previous_micros = None
+    try:
+        for index in range(args.calls):
+            try:
+                outcome = caller.call(method, timeout=args.timeout,
+                                      expect_replies=args.expect)
+            except RpcTimeout as error:
+                print(f"call {index}: TIMEOUT ({error})")
+                status = 1
+                continue
+            values = outcome.values
+            agreed = "agree" if outcome.agreed else "DISAGREE"
+            if not outcome.agreed or len(values) < args.expect:
+                status = 1
+            detail = ", ".join(
+                f"{sender}={value}" for sender, value in sorted(values.items()))
+            print(f"call {index}: {method} -> {len(values)} replies "
+                  f"[{agreed}] in {outcome.latency_us} us  {detail}")
+            # Group-clock reads must also advance monotonically.
+            sample = next(iter(values.values()))
+            if isinstance(sample, dict) and "micros" in sample:
+                micros = sample["micros"]
+                if previous_micros is not None and micros <= previous_micros:
+                    print(f"call {index}: NOT MONOTONIC "
+                          f"({micros} <= {previous_micros})")
+                    status = 1
+                previous_micros = micros
+    finally:
+        caller.close()
+    return status
+
+
 def cmd_all(args) -> int:
     status = 0
     for command in (cmd_fig1, cmd_fig5, cmd_ccs, cmd_fig6, cmd_failover,
@@ -337,6 +461,8 @@ COMMANDS = {
     "scale": cmd_scale,
     "metrics": cmd_metrics,
     "all": cmd_all,
+    "serve": cmd_serve,
+    "call": cmd_call,
 }
 
 
@@ -390,7 +516,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "time service reproduction).",
     )
     parser.add_argument("experiment", choices=sorted(COMMANDS),
-                        help="which experiment to run")
+                        help="which experiment to run (or 'serve'/'call' "
+                             "for live mode)")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="method name for 'call' (default gettimeofday)")
     parser.add_argument("--rounds", type=int, default=500,
                         help="workload size (invocations / rounds)")
     parser.add_argument("--seeds", type=int, default=6,
@@ -403,6 +532,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "in Prometheus text exposition format)")
     parser.add_argument("--trace", action="store_true",
                         help="stream protocol trace events to stderr")
+    live = parser.add_argument_group(
+        "live mode", "options for 'serve' and 'call' (see docs/live_mode.md)")
+    live.add_argument("--node", default=None,
+                      help="serve: this daemon's node id (must be in --peers)")
+    live.add_argument("--peers", default=None, metavar="MAP",
+                      help="serve: ring address book, "
+                           "n0=host:port,n1=host:port,... (same on every node)")
+    live.add_argument("--connect", default=None, metavar="ADDRS",
+                      help="call: daemon addresses, host:port[,host:port...]")
+    live.add_argument("--calls", type=int, default=5,
+                      help="call: number of sequential invocations")
+    live.add_argument("--expect", type=int, default=1,
+                      help="call: replies to wait for per invocation "
+                           "(set to the group size with active replication)")
+    live.add_argument("--timeout", type=float, default=2.0,
+                      help="call: per-invocation timeout in seconds")
+    live.add_argument("--style", default="active",
+                      choices=sorted(STYLES),
+                      help="serve: replication style")
+    live.add_argument("--group", default="timesvc",
+                      help="group name served / called")
+    live.add_argument("--clock-offset-us", type=int, default=0,
+                      help="serve: injected wall-clock epoch offset (us)")
+    live.add_argument("--clock-drift-ppm", type=float, default=0.0,
+                      help="serve: injected wall-clock drift (ppm)")
+    live.add_argument("--join", action="store_true",
+                      help="serve: join an already-running group "
+                           "(recovering replica)")
     return parser
 
 

@@ -88,3 +88,11 @@ class ClockRollbackError(TimeServiceError):
 
 class ConfigurationError(ReproError):
     """Invalid configuration supplied to a component."""
+
+
+class TransportError(NetworkError):
+    """A live-transport operation failed (socket setup, closed port)."""
+
+
+class FrameError(ReproError):
+    """A wire frame failed to parse (bad magic, bad version, truncation)."""

@@ -1,0 +1,59 @@
+"""repro.net — the live runtime: real sockets, wall clocks, daemons.
+
+Everything else in this reproduction runs inside the deterministic
+simulation kernel; this package is the deployment path.  It provides
+
+* :class:`~repro.net.transport.Transport` — the send/deliver contract
+  extracted from the simulated LAN, with two backends: the simulator
+  (:class:`repro.sim.network.Network`) and real asyncio UDP sockets
+  (:class:`~repro.net.udp.UdpTransport`).
+* :class:`~repro.net.kernel.LiveKernel` — the simulation kernel's event
+  API (events, timeouts, generator processes) re-implemented on an
+  asyncio event loop in real time, so the protocol stack runs unmodified.
+* :class:`~repro.net.clock.WallClock` — a hardware clock backed by the
+  monotonic OS clock, with injected offset/drift so live nodes still
+  exhibit the Figure-1 inconsistency the time service corrects.
+* :class:`~repro.net.testbed.LiveTestbed` — the sim
+  :class:`~repro.testbed.Testbed` API over real sockets, in-process.
+* :class:`~repro.net.daemon.NodeDaemon` / :class:`~repro.net.client.LiveCaller`
+  — the ``repro serve`` / ``repro call`` runtime for multi-process
+  deployment.
+
+Heavy modules are imported lazily (PEP 562): ``repro.sim.network`` pulls
+in :mod:`repro.net.transport` at import time, and an eager import of the
+live modules here would close an import cycle back into ``repro.sim``.
+"""
+
+from __future__ import annotations
+
+from .transport import Transport, TransportPort
+
+_LAZY = {
+    "LiveKernel": ("repro.net.kernel", "LiveKernel"),
+    "WallClock": ("repro.net.clock", "WallClock"),
+    "MonotonicTimeBase": ("repro.net.clock", "MonotonicTimeBase"),
+    "LiveNode": ("repro.net.node", "LiveNode"),
+    "UdpTransport": ("repro.net.udp", "UdpTransport"),
+    "LiveTestbed": ("repro.net.testbed", "LiveTestbed"),
+    "NodeDaemon": ("repro.net.daemon", "NodeDaemon"),
+    "DaemonConfig": ("repro.net.daemon", "DaemonConfig"),
+    "TimeApp": ("repro.net.daemon", "TimeApp"),
+    "live_totem_config": ("repro.net.timing", "live_totem_config"),
+    "LiveCaller": ("repro.net.client", "LiveCaller"),
+}
+
+__all__ = ["Transport", "TransportPort", *sorted(_LAZY)]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,164 @@
+"""The ``repro call`` client: blocking UDP RPC against a running group.
+
+Speaks the same wire format as the ring — a framed ``REQUEST`` envelope
+(:mod:`repro.net.wire` around :mod:`repro.replication.codec`) sent to
+any daemon's UDP port.  That daemon's gateway injects the request into
+the total order; with active replication **every** replica answers, the
+gateway forwards each reply to this socket, and the caller collects them
+per sender.  This is what makes the client a verification tool and not
+just an RPC stub: one call observes the value every replica computed,
+so agreement ("identical group-clock reads") is checked directly.
+
+No kernel, no asyncio — a plain blocking socket with a deadline, usable
+from scripts and CI.  Retries walk the server list, so a call survives
+the death of the daemon it first contacted (the group's state does,
+too; that is the service's job).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import RpcTimeout
+from ..replication.envelope import MsgType, make_envelope
+from ..rpc.messages import Invocation, Result
+from .udp import Address
+from .wire import FrameError, decode_frame, encode_frame
+
+
+@dataclass
+class CallOutcome:
+    """One invocation's replies, keyed by replying replica."""
+
+    method: str
+    results: Dict[str, Result]
+    latency_us: int
+    via: Address
+
+    @property
+    def values(self) -> Dict[str, object]:
+        return {sender: result.value for sender, result in self.results.items()}
+
+    @property
+    def agreed(self) -> bool:
+        """All replies carry the same value (vacuously true for one)."""
+        values = list(self.values.values())
+        return all(value == values[0] for value in values[1:])
+
+    def first(self) -> Result:
+        return next(iter(self.results.values()))
+
+
+class LiveCaller:
+    """A blocking client endpoint for a live replica group."""
+
+    def __init__(
+        self,
+        servers: Sequence[Address],
+        *,
+        group: str = "timesvc",
+        client_id: Optional[str] = None,
+        bind_host: str = "127.0.0.1",
+    ):
+        if not servers:
+            raise ValueError("need at least one server address")
+        self.servers = list(servers)
+        self.group = group
+        # The client group name doubles as the reply route key on the
+        # daemon side, so it must be unique per caller process.
+        self.client_id = client_id or f"c{os.getpid()}"
+        self.client_group = f"client.{self.client_id}"
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind((bind_host, 0))
+        self._seq = 0
+
+    # -- calling -------------------------------------------------------
+
+    def call(
+        self,
+        method: str,
+        *args,
+        timeout: float = 2.0,
+        expect_replies: int = 1,
+        conn_id: int = 1,
+    ) -> CallOutcome:
+        """Invoke ``method(*args)`` on the group.
+
+        Waits until ``expect_replies`` distinct replicas have answered
+        (or the timeout, if more keep arriving they are ignored).  Walks
+        the server list on timeout, re-sending the same invocation, and
+        raises :class:`~repro.errors.RpcTimeout` when no server answers.
+        """
+        self._seq += 1
+        seq = self._seq
+        envelope = make_envelope(
+            MsgType.REQUEST,
+            self.client_group,
+            self.group,
+            conn_id,
+            seq,
+            self.client_id,
+            body=Invocation(method, tuple(args)),
+        )
+        data = encode_frame(self.client_id, envelope)
+        per_server = max(timeout / len(self.servers), 0.05)
+        for address in self.servers:
+            started = time.monotonic()
+            try:
+                self.sock.sendto(data, address)
+            except OSError:
+                continue
+            results = self._collect(conn_id, seq, expect_replies,
+                                    deadline=started + per_server)
+            if results:
+                latency_us = int((time.monotonic() - started) * 1_000_000)
+                return CallOutcome(method, results, latency_us, address)
+        raise RpcTimeout(
+            f"no reply to {self.group}.{method} from any of {self.servers}")
+
+    def _collect(self, conn_id: int, seq: int, expect_replies: int,
+                 deadline: float) -> Dict[str, Result]:
+        results: Dict[str, Result] = {}
+        while len(results) < expect_replies:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            self.sock.settimeout(remaining)
+            try:
+                data, _addr = self.sock.recvfrom(65536)
+            except socket.timeout:
+                break
+            except OSError:
+                break
+            try:
+                _src, envelope = decode_frame(data)
+            except FrameError:
+                continue
+            header = envelope.header
+            if (header.msg_type is MsgType.REPLY
+                    and header.conn_id == conn_id
+                    and header.msg_seq_num == seq):
+                results[envelope.sender] = envelope.body
+        return results
+
+    def call_many(self, method: str, count: int, *args,
+                  timeout: float = 2.0, expect_replies: int = 1) -> List[CallOutcome]:
+        """``count`` sequential invocations (for monotonicity checks)."""
+        return [
+            self.call(method, *args, timeout=timeout,
+                      expect_replies=expect_replies)
+            for _ in range(count)
+        ]
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def __enter__(self) -> "LiveCaller":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,64 @@
+"""Wall clocks for live nodes.
+
+:class:`~repro.sim.clock.HardwareClock` is parameterized entirely by the
+``.now`` of the object it is built on — it never touches the event heap.
+:class:`WallClock` exploits that: it is a hardware clock whose time base
+advances in real (monotonic OS) time instead of virtual time, while the
+injected epoch offset and drift rate still apply.  Live nodes therefore
+exhibit the same Figure-1-style inconsistency the consistent time
+service exists to correct — unsynchronized epochs, divergent rates — on
+top of a clock that actually moves with the wall.
+
+The time base is normally the node's :class:`~repro.net.kernel.LiveKernel`
+(so clock time and kernel time share one zero point, and
+``true_offset_us`` keeps its meaning of "offset from real time since
+start").  :class:`MonotonicTimeBase` is a standalone substitute for
+processes with no kernel, such as the ``repro call`` client measuring
+request latency.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..sim.clock import HardwareClock
+
+
+class MonotonicTimeBase:
+    """A kernel-less time base: seconds since construction, monotonic."""
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+
+class WallClock(HardwareClock):
+    """A hardware clock that advances in real time.
+
+    ``time_base`` is anything with a monotonic ``.now`` in seconds — pass
+    the node's :class:`~repro.net.kernel.LiveKernel` so clock readings and
+    kernel timestamps share a timescale; omit it for a standalone clock.
+    ``epoch_us`` and ``drift_ppm`` inject the per-node offset and rate
+    error, exactly as in the simulated cluster.
+    """
+
+    def __init__(
+        self,
+        time_base: Optional[object] = None,
+        *,
+        epoch_us: int = 0,
+        drift_ppm: float = 0.0,
+        granularity_us: int = 1,
+        name: str = "",
+    ):
+        super().__init__(
+            time_base if time_base is not None else MonotonicTimeBase(),
+            epoch_us=epoch_us,
+            drift_ppm=drift_ppm,
+            granularity_us=granularity_us,
+            name=name,
+        )

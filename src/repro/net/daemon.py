@@ -1,0 +1,253 @@
+"""The ``repro serve`` node daemon: one group member per OS process.
+
+Hosts one live node — Totem ring member, group runtime, and a replica of
+the time-serving application — on an asyncio event loop, reachable over
+UDP.  Three of these processes on localhost are the paper's testbed with
+real message passing (the LLFT deployment model from the same group):
+
+.. code-block:: console
+
+   repro serve --node n0 --peers n0=127.0.0.1:9000,n1=127.0.0.1:9001,n2=127.0.0.1:9002
+   repro serve --node n1 --peers ...   # same peer map on every node
+   repro serve --node n2 --peers ...
+   repro call gettimeofday --connect 127.0.0.1:9000
+
+Client traffic rides the same wire format as the ring: a client sends a
+framed ``REQUEST`` envelope straight to any daemon's UDP port.  The
+**client gateway** intercepts such frames before Totem sees them (bare
+envelopes are not Totem wire messages), records the sender's socket
+address, and injects the request into the total order through a local
+endpoint for the client's group — exactly what :class:`~repro.rpc.client.RpcClient`
+does in-process.  Replies addressed to that client group come back via
+the total order on every member, but only the gateway holding the route
+forwards them to the caller's address, so the client receives one reply
+per replica (active replication answers from every member — that is
+what lets ``repro call`` verify the replies are identical).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..replication.envelope import Envelope
+from ..replication.group import GroupEndpoint, GroupRuntime
+from ..replication.replica import Application
+from ..testbed import STYLES, TestbedBase
+from ..totem import TotemConfig, TotemProcessor
+from .kernel import LiveKernel
+from .node import LiveNode
+from .timing import live_totem_config
+from .udp import Address, LiveFrame, UdpTransport
+
+
+class TimeApp(Application):
+    """The daemon's served application: the paper's measurement server.
+
+    ``gettimeofday`` answers with the *group* clock — identical on every
+    replica by construction; ``physical`` answers with the replica's own
+    physical clock — different on every replica, the Figure-1 hazard the
+    service exists to remove.  Having both lets ``repro call`` demo the
+    difference against a running group.
+    """
+
+    def gettimeofday(self, ctx):
+        value = yield ctx.gettimeofday()
+        return {"sec": value.seconds, "usec": value.microseconds,
+                "micros": value.micros}
+
+    def physical(self, ctx):
+        yield ctx.compute(0.0)
+        value = ctx.physical_clock()
+        return {"sec": value.seconds, "usec": value.microseconds,
+                "micros": value.micros}
+
+    def ping(self, ctx):
+        yield ctx.compute(0.0)
+        return "pong"
+
+    def get_state(self):
+        return None
+
+    def set_state(self, state):
+        pass
+
+
+@dataclass
+class DaemonConfig:
+    """Everything one ``repro serve`` process needs."""
+
+    node_id: str
+    #: Full ring address book, *including this node* (every daemon gets
+    #: the same map; each binds its own entry).
+    peers: Dict[str, Address]
+    group: str = "timesvc"
+    style: str = "active"
+    time_source: str = "cts"
+    #: Injected wall-clock error (the live Figure-1 inconsistency).
+    clock_epoch_us: int = 0
+    clock_drift_ppm: float = 0.0
+    #: Join an already-running group (recovering/added replica).
+    join_existing: bool = False
+    totem: Optional[TotemConfig] = None
+    extra_style_kwargs: Dict = field(default_factory=dict)
+
+
+class ClientGateway:
+    """Bridges off-ring callers into the group's total order."""
+
+    def __init__(self, runtime: GroupRuntime, port) -> None:
+        self.runtime = runtime
+        self.port = port
+        #: client group -> last known socket address.
+        self.routes: Dict[str, Address] = {}
+        self._endpoints: Dict[str, GroupEndpoint] = {}
+        self.requests_injected = 0
+        self.replies_forwarded = 0
+
+    def handle(self, frame: LiveFrame) -> None:
+        envelope: Envelope = frame.payload
+        client_group = envelope.header.src_grp
+        self.routes[client_group] = frame.addr
+        self._endpoint_for(client_group).mcast(envelope)
+        self.requests_injected += 1
+
+    def _endpoint_for(self, client_group: str) -> GroupEndpoint:
+        endpoint = self._endpoints.get(client_group)
+        if endpoint is None:
+            endpoint = self.runtime.endpoint(client_group)
+            endpoint.on_message = (
+                lambda envelope, group=client_group: self._forward(group, envelope))
+            endpoint.join()
+            self._endpoints[client_group] = endpoint
+        return endpoint
+
+    def _forward(self, client_group: str, envelope: Envelope) -> None:
+        address = self.routes.get(client_group)
+        if address is None:
+            return
+        self.port.sendto(address, envelope)
+        self.replies_forwarded += 1
+
+
+class NodeDaemon:
+    """One live group member: kernel, node, ring, replica, gateway."""
+
+    def __init__(self, config: DaemonConfig,
+                 kernel: Optional[LiveKernel] = None):
+        if config.node_id not in config.peers:
+            raise KeyError(
+                f"--peers must include this node ({config.node_id!r})")
+        if config.style not in STYLES:
+            raise KeyError(
+                f"unknown style {config.style!r}; choose from {sorted(STYLES)}")
+        self.config = config
+        self.kernel = kernel or LiveKernel()
+        host, port = config.peers[config.node_id]
+        self.transport = UdpTransport(
+            self.kernel.loop,
+            peers=config.peers,
+            bind_host=host,
+            bind_ports={config.node_id: port},
+        )
+        self.node = LiveNode(
+            self.kernel,
+            config.node_id,
+            self.transport,
+            clock_epoch_us=config.clock_epoch_us,
+            clock_drift_ppm=config.clock_drift_ppm,
+        )
+        self.processor = TotemProcessor(
+            self.node,
+            config.totem or live_totem_config(),
+            static_membership=sorted(config.peers),
+        )
+        self.runtime = GroupRuntime(self.processor)
+        # The Totem processor installed itself as the node's receiver;
+        # interpose the gateway in front of it.  Bare envelopes are
+        # client traffic (ring peers always wrap envelopes in Totem
+        # regular messages); everything else is ring traffic.
+        totem_receiver = self.node._receiver
+        self.gateway = ClientGateway(self.runtime, self.node.iface)
+
+        def dispatch(frame: LiveFrame) -> None:
+            if isinstance(frame.payload, Envelope):
+                self.gateway.handle(frame)
+            else:
+                totem_receiver(frame)
+
+        self.node.set_receiver(dispatch)
+        # Same factory path as the testbeds, so daemon replicas and
+        # testbed replicas are configured identically.
+        factory = TestbedBase._time_source_factory(
+            config.time_source, config.style, None)
+        self.replica = STYLES[config.style](
+            self.runtime, config.group, TimeApp(), factory,
+            join_existing=config.join_existing,
+            **config.extra_style_kwargs,
+        )
+        self._started = False
+
+    @property
+    def address(self) -> Address:
+        return self.node.address
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.processor.start()
+        self._join_when_quorate()
+
+    def _join_when_quorate(self) -> None:
+        """Join the group once the ring holds a majority of the peers.
+
+        Daemons boot at genuinely different wall-clock times, so a node
+        may briefly sit in a singleton ring before the rings merge.
+        Joining the group from such a minority ring would be rejected by
+        the primary-component rule anyway (the replica would poll with
+        GET_STATE until the merge); waiting for quorum keeps the group
+        joins in one merged total order and the cold start clean.
+        """
+        members = self.processor.members
+        if 2 * len(members) > len(self.config.peers):
+            self._log(f"ring quorate {members}; joining group")
+            self.replica.start()
+        else:
+            self.kernel.schedule(0.05, self._join_when_quorate)
+
+    def serve_forever(self) -> None:
+        """Start the stack and run the loop until stopped (SIGTERM/INT)."""
+        import signal
+
+        loop = self.kernel.loop
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, loop.stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        self.start()
+        self._log(f"serving group {self.config.group!r} "
+                  f"({self.config.style}) on {self.address[0]}:{self.address[1]}")
+        self.kernel.schedule(1.0, self._report_failures)
+        try:
+            loop.run_forever()
+        finally:
+            self.shutdown()
+
+    def _report_failures(self) -> None:
+        for failure in self.kernel.drain_failures():
+            self._log(f"unhandled protocol failure: {failure!r}")
+        if self.node.alive:
+            self.kernel.schedule(1.0, self._report_failures)
+
+    def _log(self, message: str) -> None:
+        print(f"[repro serve {self.config.node_id}] {message}",
+              file=sys.stderr, flush=True)
+
+    def shutdown(self) -> None:
+        self.transport.close()
+        self.kernel.close()

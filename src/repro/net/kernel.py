@@ -1,0 +1,168 @@
+"""The simulation kernel's event API, re-implemented in real time.
+
+The entire protocol stack — Totem, the replication layer, the time
+service — is written against :class:`repro.sim.kernel.Simulator`: it
+creates events and timeouts, spawns generator processes, schedules
+callbacks, and reads ``sim.now``.  :class:`LiveKernel` keeps that exact
+API but maps it onto an asyncio event loop:
+
+* ``now`` is the loop's monotonic clock, zeroed at construction, so all
+  kernel timestamps remain "seconds since start" just like the sim;
+* queueing an event becomes ``loop.call_later``; firing one replays the
+  body of :meth:`Simulator.step` (lazy trigger values, defused-event
+  skipping, unheeded-failure detection);
+* ``run(until=...)`` drives the loop with ``run_until_complete`` of a
+  real sleep, and ``run_process`` blocks on a loop future resolved by
+  the process's completion callback.
+
+Because only the *scheduling* substrate changes, every object built on
+events — :class:`~repro.sim.process.Store`, locks, Totem timers, CCS
+rounds — runs unmodified on either kernel.  The one semantic difference
+is that URGENT/NORMAL priority ties cannot be enforced against a real
+clock; asyncio's FIFO ordering of same-deadline timers is the live
+equivalent, and real timestamps never tie exactly anyway.
+
+Unheeded failures (a failed event nobody waits on) cannot be raised from
+inside a loop callback without asyncio swallowing them, so they are
+collected and re-raised at the next :meth:`run` / :meth:`run_process`
+boundary; a daemon running the loop directly drains them via
+:meth:`drain_failures`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Generator, List, Optional
+
+from ..errors import SimulationError
+from ..sim.kernel import _PENDING, Event, Process, Simulator
+
+
+class LiveKernel(Simulator):
+    """Drop-in :class:`~repro.sim.kernel.Simulator` over an asyncio loop."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None):
+        super().__init__()
+        self.loop = loop or asyncio.new_event_loop()
+        self._t0 = self.loop.time()
+        self._failures: List[BaseException] = []
+        self._closed = False
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Real seconds since kernel construction (monotonic)."""
+        return self.loop.time() - self._t0
+
+    # -- queueing ------------------------------------------------------
+
+    def _queue_event(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        # asyncio orders same-deadline timers FIFO, which matches the sim
+        # heap's stable-sequence tie-break; the priority lane collapses.
+        self.loop.call_later(max(0.0, delay), self._fire_event, event)
+
+    def _fire_event(self, event: Event) -> None:
+        # Mirrors the body of Simulator.step for one already-due event.
+        if event._value is _PENDING:
+            event._ok = getattr(event, "_delayed_ok", True)
+            event._value = getattr(event, "_delayed_value", None)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if getattr(event, "_defused", False):
+            return
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif event._ok is False and not getattr(event, "_fail_silently", False):
+            self._failures.append(event._value)
+
+    # -- failure surfacing ---------------------------------------------
+
+    def drain_failures(self) -> List[BaseException]:
+        """Return and clear failures of events nobody waited on."""
+        failures, self._failures = self._failures, []
+        return failures
+
+    def _raise_pending(self) -> None:
+        if self._failures:
+            failure = self._failures[0]
+            self._failures = []
+            raise failure
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Drive the loop until kernel time reaches ``until``.
+
+        Unlike the simulator there is no event heap to drain, so an
+        explicit ``until`` is required; ``max_events`` is not supported
+        against a real clock.
+        """
+        if until is None:
+            raise SimulationError("LiveKernel.run() requires an explicit 'until' time")
+        if max_events is not None:
+            raise SimulationError("LiveKernel.run() does not support max_events")
+        delta = until - self.now
+        if delta > 0:
+            self.loop.run_until_complete(asyncio.sleep(delta))
+        self._raise_pending()
+        return self.now
+
+    def run_process(self, generator: Generator, name: str = "",
+                    timeout: Optional[float] = None) -> Any:
+        """Spawn ``generator`` and block the caller until it finishes.
+
+        ``timeout`` bounds the real-time wait (the sim detects deadlock
+        by heap exhaustion; a live kernel has no such signal).
+        """
+        proc = self.process(generator, name=name)
+        future = self.loop.create_future()
+
+        def _done(event: Event) -> None:
+            if not future.done():
+                future.set_result(None)
+
+        proc._add_callback(_done)
+        waiter = asyncio.wait_for(self._await_future(future), timeout)
+        try:
+            self.loop.run_until_complete(waiter)
+        except asyncio.TimeoutError:
+            raise SimulationError(
+                f"process {proc.name!r} did not finish within {timeout}s") from None
+        self._raise_pending()
+        if proc._ok:
+            return proc._value
+        proc._fail_silently = True
+        raise proc._value
+
+    @staticmethod
+    async def _await_future(future: "asyncio.Future[None]") -> None:
+        await future
+
+    def wrap_process(self, proc: Process) -> "asyncio.Future[Any]":
+        """Expose a kernel process as an asyncio future (for daemons that
+        own the running loop and therefore cannot call run_process)."""
+        future = self.loop.create_future()
+
+        def _done(event: Event) -> None:
+            if future.done():
+                return
+            if event._ok:
+                future.set_result(event._value)
+            else:
+                proc._fail_silently = True
+                future.set_exception(event._value)
+
+        proc._add_callback(_done)
+        return future
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Close the owned event loop (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            if not self.loop.is_running() and not self.loop.is_closed():
+                self.loop.close()

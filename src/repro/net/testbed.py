@@ -1,0 +1,117 @@
+"""The testbed API over real sockets: in-process live deployment.
+
+:class:`LiveTestbed` is :class:`repro.testbed.Testbed` with the
+substrate swapped out: a :class:`~repro.net.kernel.LiveKernel` instead
+of the simulator, :class:`~repro.net.node.LiveNode` hosts with wall
+clocks instead of simulated PCs, and a
+:class:`~repro.net.udp.UdpTransport` on 127.0.0.1 instead of the
+modelled LAN.  All nodes run in one process on one event loop — the
+multi-process deployment is :mod:`repro.net.daemon` — which makes it the
+bridge mode: real time, real sockets, but still a single test-friendly
+object, so workloads and the obs subsystem run unmodified against
+either testbed.
+
+Nodes bind ephemeral ports (bind-all-then-start ordering makes the
+shared address book complete before any traffic flows), so live tests
+never collide on fixed ports.
+
+Because real time cannot be paused, scenario code should wait on
+conditions, not durations: :meth:`LiveTestbed.wait_until` polls a
+predicate while driving the loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+from ..sim.clock import US_PER_SEC
+from ..testbed import TestbedBase
+from ..totem import TotemConfig
+from .kernel import LiveKernel
+from .node import LiveNode
+from .timing import live_totem_config
+from .udp import UdpTransport
+
+
+class LiveTestbed(TestbedBase):
+    """A live cluster on localhost UDP, one event loop, real time."""
+
+    def __init__(
+        self,
+        *,
+        num_nodes: int = 3,
+        seed: int = 0,
+        node_ids: Optional[List[str]] = None,
+        totem_config: Optional[TotemConfig] = None,
+        clock_epoch_spread_s: float = 10.0,
+        clock_drift_ppm_max: float = 50.0,
+        bind_host: str = "127.0.0.1",
+    ):
+        self.kernel = LiveKernel()
+        self.transport = UdpTransport(self.kernel.loop, bind_host=bind_host)
+        ids = list(node_ids) if node_ids else [f"n{i}" for i in range(num_nodes)]
+        rng = random.Random(seed)
+        nodes = {}
+        for node_id in ids:
+            # Same unsynchronized-start model as the simulated cluster:
+            # per-node epoch offset and drift rate from the seed.
+            epoch_us = int(rng.uniform(-clock_epoch_spread_s,
+                                       clock_epoch_spread_s) * US_PER_SEC)
+            drift_ppm = rng.uniform(-clock_drift_ppm_max, clock_drift_ppm_max)
+            nodes[node_id] = LiveNode(
+                self.kernel,
+                node_id,
+                self.transport,
+                random.Random(rng.random()),
+                clock_epoch_us=epoch_us,
+                clock_drift_ppm=drift_ppm,
+            )
+        self._init_stack(self.kernel, nodes, totem_config or live_totem_config())
+
+    # -- execution ------------------------------------------------------
+
+    def start(self, settle: float = 1.0) -> None:
+        """Boot the stack; live rings need more settle time than the sim
+        (the live timing profile trades detection latency for stability)."""
+        super().start(settle)
+
+    def run_process(self, generator, name: str = "scenario", **kwargs):
+        """As the base, but with a default real-time timeout: a scenario
+        that would never finish must not hang the process."""
+        kwargs.setdefault("timeout", 30.0)
+        return super().run_process(generator, name, **kwargs)
+
+    def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        timeout: float = 10.0,
+        poll: float = 0.02,
+    ) -> float:
+        """Drive the loop until ``predicate()`` is true; returns elapsed
+        seconds.  Raises :class:`~repro.errors.SimulationError` on
+        timeout — real time cannot be fast-forwarded, so condition waits
+        replace the sim's fixed-duration runs."""
+        start = self.sim.now
+        while True:
+            if predicate():
+                return self.sim.now - start
+            if self.sim.now - start > timeout:
+                raise SimulationError(
+                    f"condition not reached within {timeout}s")
+            self.run(poll)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Close all sockets and the event loop (idempotent)."""
+        self.transport.close()
+        self.kernel.close()
+
+    def __enter__(self) -> "LiveTestbed":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,206 @@
+"""Asyncio UDP backend of the transport contract.
+
+Carries the frames of :mod:`repro.net.wire` over real datagram sockets
+on an asyncio event loop.  The paper's broadcast LAN is emulated on
+localhost (or any unicast network) by **per-peer unicast fan-out**: a
+multicast is sent as one datagram per peer in the address book,
+*including the sender's own address* — UDP multicast loops back, and
+Totem relies on receiving its own broadcasts.
+
+Sockets are plain non-blocking ``SOCK_DGRAM`` sockets serviced via
+``loop.add_reader``, so attaching is synchronous (no coroutine needed
+during setup, before the loop runs).  Binding to port 0 yields an
+ephemeral port; the bound address is published into the shared address
+book at attach time, which is how an in-process
+:class:`~repro.net.testbed.LiveTestbed` wires N nodes together without
+fixed ports: attach everything first, then start traffic.
+
+Datagrams that fail frame validation (foreign senders, truncation, stale
+wire versions) are counted and dropped — a live port is exposed to
+arbitrary traffic, and dropping is the only safe response.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .. import obs
+from ..errors import FrameError, NetworkError, TransportError
+from .transport import Transport, TransportPort
+from .wire import encode_frame, decode_frame
+
+Address = Tuple[str, int]
+
+M_DATAGRAMS_SENT = obs.REGISTRY.counter(
+    "udp_datagrams_sent_total", "datagrams written per live port")
+M_DATAGRAM_BYTES = obs.REGISTRY.counter(
+    "udp_datagram_bytes_total", "encoded bytes written per live port",
+    unit="bytes")
+M_DATAGRAMS_RECEIVED = obs.REGISTRY.counter(
+    "udp_datagrams_received_total", "valid frames received per live port")
+M_DATAGRAMS_REJECTED = obs.REGISTRY.counter(
+    "udp_datagrams_rejected_total", "datagrams dropped by frame validation")
+
+
+@dataclass
+class LiveFrame:
+    """One validated frame off the wire.
+
+    Exposes the contract fields (``src``, ``payload``) plus the sender's
+    socket address, which the daemon's client gateway uses to route
+    replies to callers outside the peer address book.
+    """
+
+    src: str
+    payload: Any
+    size_bytes: int
+    addr: Address
+
+
+class UdpPort(TransportPort):
+    """One node's bound UDP socket."""
+
+    def __init__(self, transport: "UdpTransport", node_id: str,
+                 deliver: Callable[[LiveFrame], None], sock: socket.socket):
+        self.transport = transport
+        self.node_id = node_id
+        self._deliver = deliver
+        self.sock = sock
+        self.up = True
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.frames_rejected = 0
+
+    @property
+    def address(self) -> Address:
+        return self.sock.getsockname()
+
+    # -- sending ----------------------------------------------------------
+
+    def unicast(self, dst: str, payload: Any, size_bytes: int = 128) -> None:
+        """Send to one peer.  Unknown peers are dropped, matching the
+        simulated LAN's behaviour for detached destinations."""
+        self._check_up()
+        addr = self.transport.peers.get(dst)
+        if addr is None:
+            return
+        self._send(encode_frame(self.node_id, payload), addr)
+
+    def multicast(self, payload: Any, size_bytes: int = 128) -> None:
+        """Fan out to every peer in the address book, self included."""
+        self._check_up()
+        data = encode_frame(self.node_id, payload)
+        for addr in self.transport.peers.values():
+            self._send(data, addr)
+
+    def sendto(self, addr: Address, payload: Any) -> None:
+        """Send a framed payload to an explicit socket address (used by
+        the daemon to answer clients that are not ring peers)."""
+        self._check_up()
+        self._send(encode_frame(self.node_id, payload), addr)
+
+    def _check_up(self) -> None:
+        if not self.up:
+            raise NetworkError(f"interface {self.node_id!r} is down")
+
+    def _send(self, data: bytes, addr: Address) -> None:
+        try:
+            self.sock.sendto(data, addr)
+        except OSError as exc:
+            raise TransportError(
+                f"{self.node_id!r} failed to send to {addr}: {exc}") from exc
+        self.frames_sent += 1
+        self.bytes_sent += len(data)
+        if obs.REGISTRY.enabled:
+            M_DATAGRAMS_SENT.inc(node=self.node_id)
+            M_DATAGRAM_BYTES.inc(len(data), node=self.node_id)
+
+    # -- receiving ---------------------------------------------------------
+
+    def _on_readable(self) -> None:
+        # Drain everything available; the reader callback fires once per
+        # loop iteration, not once per datagram.
+        while True:
+            try:
+                data, addr = self.sock.recvfrom(65536)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # socket closed under us during detach
+            if not self.up:
+                continue
+            try:
+                src, payload = decode_frame(data)
+            except FrameError:
+                self.frames_rejected += 1
+                if obs.REGISTRY.enabled:
+                    M_DATAGRAMS_REJECTED.inc(node=self.node_id)
+                continue
+            self.frames_received += 1
+            if obs.REGISTRY.enabled:
+                M_DATAGRAMS_RECEIVED.inc(node=self.node_id)
+            self._deliver(LiveFrame(src, payload, len(data), addr))
+
+
+class UdpTransport(Transport):
+    """A set of UDP ports sharing one asyncio loop and one address book.
+
+    ``peers`` maps node id to ``(host, port)``.  In multi-process
+    deployment it is the daemon's ``--peers`` list; in-process it starts
+    empty and fills as nodes attach on ephemeral ports.  ``bind_host``
+    and ``bind_ports`` configure where :meth:`attach` binds (attach keeps
+    the two-argument contract signature, so bind configuration lives on
+    the transport).
+    """
+
+    def __init__(
+        self,
+        loop,
+        *,
+        peers: Optional[Dict[str, Address]] = None,
+        bind_host: str = "127.0.0.1",
+        bind_ports: Optional[Dict[str, int]] = None,
+    ):
+        self.loop = loop
+        self.peers: Dict[str, Address] = dict(peers or {})
+        self.bind_host = bind_host
+        self.bind_ports = dict(bind_ports or {})
+        self._ports: Dict[str, UdpPort] = {}
+
+    # -- topology ---------------------------------------------------------
+
+    def attach(self, node_id: str, deliver: Callable[[LiveFrame], None]) -> UdpPort:
+        if node_id in self._ports:
+            raise NetworkError(f"node {node_id!r} already attached")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            sock.setblocking(False)
+            sock.bind((self.bind_host, self.bind_ports.get(node_id, 0)))
+        except OSError as exc:
+            sock.close()
+            raise TransportError(f"cannot bind {node_id!r}: {exc}") from exc
+        port = UdpPort(self, node_id, deliver, sock)
+        self.loop.add_reader(sock.fileno(), port._on_readable)
+        self._ports[node_id] = port
+        # Publish the (possibly ephemeral) bound address so peers — and
+        # the node's own multicast loopback — can reach it.
+        self.peers[node_id] = port.address
+        return port
+
+    def detach(self, node_id: str) -> None:
+        port = self._ports.pop(node_id, None)
+        if port is None:
+            return
+        port.up = False
+        try:
+            self.loop.remove_reader(port.sock.fileno())
+        except (OSError, ValueError):
+            pass
+        port.sock.close()
+
+    def close(self) -> None:
+        for node_id in list(self._ports):
+            self.detach(node_id)

@@ -1,0 +1,313 @@
+"""Byte-level framing and payload codec for the live transport.
+
+:mod:`repro.replication.codec` serializes the *protocol-level* messages
+(envelopes and their bodies).  This module adds the two layers needed to
+put them on a real wire:
+
+* a **payload codec** covering everything a node transmits — bare
+  envelopes (the client channel) plus the Totem wire messages
+  (:class:`~repro.totem.messages.RegularMessage`, tokens, joins, commit
+  tokens, beacons), with the envelope codec reused for message bodies;
+* explicit **framing** with a magic marker, a version byte and a length
+  field, so a receiver can reject truncated or foreign datagrams before
+  attempting to decode them, and so the same format can later run over a
+  stream transport.
+
+Frame layout (all integers little-endian)::
+
+    offset 0  magic   2 bytes  b"CT"
+           2  version 1 byte   WIRE_VERSION
+           3  length  4 bytes  byte length of the body
+           7  body    = src-node (length-prefixed UTF-8) + payload bytes
+
+Payload layout: a one-byte kind tag followed by kind-specific fields.
+:class:`~repro.totem.messages.RegularMessage` payloads nest recursively
+(an ordered message usually carries an envelope; recovery tombstones and
+arbitrary JSON-able payloads are also covered), so one entry point
+handles every frame either backend can carry.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Optional, Tuple
+
+from ..errors import FrameError
+from ..replication.codec import (
+    CodecError,
+    _pack_json,
+    _pack_str,
+    _unpack_json,
+    _unpack_str,
+    decode_envelope,
+    encode_envelope,
+)
+from ..replication.envelope import Envelope
+from ..totem.messages import (
+    CommitMemberInfo,
+    CommitToken,
+    JoinMessage,
+    LostMessage,
+    RegularMessage,
+    RegularToken,
+    RingBeacon,
+    RingId,
+)
+
+#: Frame magic marker ("Consistent Time").
+MAGIC = b"CT"
+#: Bump on any incompatible change to the frame or payload layout.
+WIRE_VERSION = 1
+#: magic + version + length.
+HEADER_SIZE = 7
+
+# -- payload kind tags ----------------------------------------------------
+_KIND_ENVELOPE = 0
+_KIND_REGULAR = 1
+_KIND_TOKEN = 2
+_KIND_JOIN = 3
+_KIND_COMMIT = 4
+_KIND_BEACON = 5
+_KIND_JSON = 6
+_KIND_LOST = 7
+
+
+# -- primitives -----------------------------------------------------------
+
+def _pack_ring(ring_id: RingId) -> bytes:
+    return struct.pack("<q", ring_id.seq) + _pack_str(ring_id.representative)
+
+
+def _unpack_ring(buffer: bytes, offset: int) -> Tuple[RingId, int]:
+    (seq,) = struct.unpack_from("<q", buffer, offset)
+    representative, offset = _unpack_str(buffer, offset + 8)
+    return RingId(seq, representative), offset
+
+
+def _pack_opt_ring(ring_id: Optional[RingId]) -> bytes:
+    if ring_id is None:
+        return b"\x00"
+    return b"\x01" + _pack_ring(ring_id)
+
+
+def _unpack_opt_ring(buffer: bytes, offset: int) -> Tuple[Optional[RingId], int]:
+    flag = buffer[offset]
+    offset += 1
+    if not flag:
+        return None, offset
+    return _unpack_ring(buffer, offset)
+
+
+def _pack_str_set(values) -> bytes:
+    items = sorted(values)
+    out = [struct.pack("<H", len(items))]
+    out.extend(_pack_str(v) for v in items)
+    return b"".join(out)
+
+
+def _unpack_str_tuple(buffer: bytes, offset: int) -> Tuple[Tuple[str, ...], int]:
+    (count,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    values = []
+    for _ in range(count):
+        value, offset = _unpack_str(buffer, offset)
+        values.append(value)
+    return tuple(values), offset
+
+
+def _pack_str_tuple(values) -> bytes:
+    out = [struct.pack("<H", len(values))]
+    out.extend(_pack_str(v) for v in values)
+    return b"".join(out)
+
+
+# -- payload codec --------------------------------------------------------
+
+def encode_payload(payload: Any) -> bytes:
+    """Serialize one transport payload (tag byte + fields)."""
+    if isinstance(payload, Envelope):
+        return bytes([_KIND_ENVELOPE]) + encode_envelope(payload)
+    if isinstance(payload, RegularMessage):
+        return (
+            bytes([_KIND_REGULAR])
+            + _pack_ring(payload.ring_id)
+            + struct.pack("<q?", payload.seq, payload.retransmission)
+            + _pack_str(payload.sender)
+            + encode_payload(payload.payload)
+        )
+    if isinstance(payload, RegularToken):
+        aru_id = payload.aru_id
+        return (
+            bytes([_KIND_TOKEN])
+            + _pack_ring(payload.ring_id)
+            + struct.pack("<qqq?", payload.token_seq, payload.seq,
+                          payload.aru, aru_id is not None)
+            + (_pack_str(aru_id) if aru_id is not None else b"")
+            + struct.pack("<H", len(payload.rtr))
+            + b"".join(struct.pack("<q", seq) for seq in payload.rtr)
+        )
+    if isinstance(payload, JoinMessage):
+        return (
+            bytes([_KIND_JOIN])
+            + _pack_str(payload.sender)
+            + _pack_str_set(payload.proc_set)
+            + _pack_str_set(payload.fail_set)
+            + struct.pack("<q", payload.ring_seq)
+        )
+    if isinstance(payload, CommitToken):
+        parts = [
+            bytes([_KIND_COMMIT]),
+            _pack_ring(payload.ring_id),
+            _pack_str_tuple(payload.members),
+            struct.pack("<qq", payload.token_seq, payload.rotation),
+            struct.pack("<H", len(payload.info)),
+        ]
+        for member in sorted(payload.info):
+            info = payload.info[member]
+            parts.append(_pack_str(member))
+            parts.append(_pack_opt_ring(info.old_ring_id))
+            parts.append(struct.pack("<qq?", info.high_seq,
+                                     info.recovery_aru, info.recovered))
+        parts.append(struct.pack("<H", len(payload.rtr)))
+        for ring_id, seq in payload.rtr:
+            parts.append(_pack_ring(ring_id))
+            parts.append(struct.pack("<q", seq))
+        return b"".join(parts)
+    if isinstance(payload, RingBeacon):
+        return (
+            bytes([_KIND_BEACON])
+            + _pack_ring(payload.ring_id)
+            + _pack_str(payload.sender)
+        )
+    if isinstance(payload, LostMessage):
+        return bytes([_KIND_LOST])
+    # Fallback: any JSON-able payload (e.g. TotemBus pub/sub traffic).
+    try:
+        return bytes([_KIND_JSON]) + _pack_json(payload)
+    except CodecError as exc:
+        raise FrameError(f"payload {type(payload).__name__} is not wire-encodable: {exc}") from exc
+
+
+def decode_payload(buffer: bytes, offset: int = 0) -> Tuple[Any, int]:
+    """Inverse of :func:`encode_payload`; returns ``(payload, offset)``."""
+    try:
+        kind = buffer[offset]
+        offset += 1
+        if kind == _KIND_ENVELOPE:
+            # The envelope codec consumes the rest of its buffer region;
+            # envelopes only ever terminate a payload, so slicing is safe.
+            return decode_envelope(buffer[offset:]), len(buffer)
+        if kind == _KIND_REGULAR:
+            ring_id, offset = _unpack_ring(buffer, offset)
+            seq, retransmission = struct.unpack_from("<q?", buffer, offset)
+            offset += struct.calcsize("<q?")
+            sender, offset = _unpack_str(buffer, offset)
+            inner, offset = decode_payload(buffer, offset)
+            return RegularMessage(ring_id, seq, sender, inner, retransmission), offset
+        if kind == _KIND_TOKEN:
+            ring_id, offset = _unpack_ring(buffer, offset)
+            token_seq, seq, aru, has_aru_id = struct.unpack_from("<qqq?", buffer, offset)
+            offset += struct.calcsize("<qqq?")
+            aru_id = None
+            if has_aru_id:
+                aru_id, offset = _unpack_str(buffer, offset)
+            (count,) = struct.unpack_from("<H", buffer, offset)
+            offset += 2
+            rtr = struct.unpack_from(f"<{count}q", buffer, offset)
+            offset += 8 * count
+            return RegularToken(ring_id, token_seq, seq, aru, aru_id, tuple(rtr)), offset
+        if kind == _KIND_JOIN:
+            sender, offset = _unpack_str(buffer, offset)
+            proc_set, offset = _unpack_str_tuple(buffer, offset)
+            fail_set, offset = _unpack_str_tuple(buffer, offset)
+            (ring_seq,) = struct.unpack_from("<q", buffer, offset)
+            return (
+                JoinMessage(sender, frozenset(proc_set), frozenset(fail_set), ring_seq),
+                offset + 8,
+            )
+        if kind == _KIND_COMMIT:
+            ring_id, offset = _unpack_ring(buffer, offset)
+            members, offset = _unpack_str_tuple(buffer, offset)
+            token_seq, rotation = struct.unpack_from("<qq", buffer, offset)
+            offset += 16
+            (count,) = struct.unpack_from("<H", buffer, offset)
+            offset += 2
+            info = {}
+            for _ in range(count):
+                member, offset = _unpack_str(buffer, offset)
+                old_ring_id, offset = _unpack_opt_ring(buffer, offset)
+                high_seq, recovery_aru, recovered = struct.unpack_from("<qq?", buffer, offset)
+                offset += struct.calcsize("<qq?")
+                info[member] = CommitMemberInfo(
+                    old_ring_id, high_seq, recovery_aru, recovered)
+            (count,) = struct.unpack_from("<H", buffer, offset)
+            offset += 2
+            rtr = []
+            for _ in range(count):
+                rtr_ring, offset = _unpack_ring(buffer, offset)
+                (seq,) = struct.unpack_from("<q", buffer, offset)
+                offset += 8
+                rtr.append((rtr_ring, seq))
+            return CommitToken(ring_id, members, token_seq, rotation, info, rtr), offset
+        if kind == _KIND_BEACON:
+            ring_id, offset = _unpack_ring(buffer, offset)
+            sender, offset = _unpack_str(buffer, offset)
+            return RingBeacon(ring_id, sender), offset
+        if kind == _KIND_JSON:
+            return _unpack_json(buffer, offset)
+        if kind == _KIND_LOST:
+            return LostMessage(), offset
+        raise FrameError(f"unknown payload kind {kind}")
+    except (struct.error, IndexError, UnicodeDecodeError,
+            json.JSONDecodeError, CodecError) as exc:
+        raise FrameError(f"malformed payload: {exc}") from exc
+
+
+# -- framing --------------------------------------------------------------
+
+def frame(src: str, payload_bytes: bytes) -> bytes:
+    """Wrap encoded payload bytes in a versioned, length-checked frame."""
+    body = _pack_str(src) + payload_bytes
+    return MAGIC + bytes([WIRE_VERSION]) + struct.pack("<I", len(body)) + body
+
+
+def unframe(data: bytes) -> Tuple[str, bytes]:
+    """Validate a frame; returns ``(src_node, payload_bytes)``.
+
+    Raises :class:`~repro.errors.FrameError` on anything that is not a
+    complete, current-version frame — foreign datagrams, truncation, or
+    trailing garbage.
+    """
+    if len(data) < HEADER_SIZE:
+        raise FrameError(f"short frame ({len(data)} bytes)")
+    if data[:2] != MAGIC:
+        raise FrameError(f"bad magic {data[:2]!r}")
+    if data[2] != WIRE_VERSION:
+        raise FrameError(f"unsupported wire version {data[2]}")
+    (length,) = struct.unpack_from("<I", data, 3)
+    body = data[HEADER_SIZE:]
+    if len(body) != length:
+        raise FrameError(f"frame length mismatch: header says {length}, got {len(body)}")
+    try:
+        src, offset = _unpack_str(body, 0)
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise FrameError(f"malformed frame source: {exc}") from exc
+    if offset > len(body):
+        raise FrameError("frame source field overruns the body")
+    return src, body[offset:]
+
+
+def encode_frame(src: str, payload: Any) -> bytes:
+    """Convenience: encode and frame one payload."""
+    return frame(src, encode_payload(payload))
+
+
+def decode_frame(data: bytes) -> Tuple[str, Any]:
+    """Convenience: unframe and decode; returns ``(src_node, payload)``."""
+    src, payload_bytes = unframe(data)
+    payload, end = decode_payload(payload_bytes, 0)
+    if end != len(payload_bytes):
+        raise FrameError(
+            f"trailing garbage: payload ends at {end} of {len(payload_bytes)} bytes")
+    return src, payload

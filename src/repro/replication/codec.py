@@ -9,10 +9,22 @@ protocol-level messages:
 * :class:`~repro.replication.envelope.Envelope` (with header),
 * :class:`~repro.core.messages.CCSMessage`,
 * :class:`~repro.rpc.messages.Invocation` / ``Result`` (JSON-able args),
-* :class:`~repro.core.multigroup.GroupClockStamp`.
+* :class:`~repro.core.multigroup.GroupClockStamp`,
+* :class:`~repro.replication.state_transfer.Checkpoint` and
+  :class:`~repro.core.recovery.TimeTransferState` (state transfer), and
+* arbitrary compositions of the above in JSON-able containers, via a
+  recursive *value* encoding (the STATE body is a dict holding a
+  checkpoint; a passive backup's backlog holds whole envelopes).
 
 Layout: a one-byte type tag, then struct-packed fixed fields, then
 length-prefixed UTF-8 strings / JSON blobs.  Integers are little-endian.
+Protocol modules outside this one register their own body types with
+:func:`register_body_codec` (e.g. the primary-backup baseline's conveyed
+clock values), keeping the tag space centralized without import cycles.
+
+This format is what actually crosses the socket in live mode — every
+envelope a node transmits goes through :mod:`repro.net.wire`, which
+frames the output of :func:`encode_envelope`.
 """
 
 from __future__ import annotations
@@ -23,9 +35,11 @@ from typing import Any, Callable, Dict, Tuple
 
 from ..core.messages import CCSMessage
 from ..core.multigroup import GroupClockStamp
+from ..core.recovery import TimeTransferState
 from ..errors import ReproError
 from ..rpc.messages import Invocation, Result
 from .envelope import Envelope, MessageHeader, MsgType
+from .state_transfer import Checkpoint
 
 
 class CodecError(ReproError):
@@ -146,6 +160,160 @@ def _decode_json_body(buffer: bytes, offset: int) -> Tuple[Any, int]:
     return _unpack_json(buffer, offset)
 
 
+# -- recursive value encoding --------------------------------------------
+#
+# Bodies like the STATE response are containers mixing JSON-able data
+# with protocol objects (checkpoints, buffered CCS messages, logged
+# envelopes).  The value encoding handles those: each node is a one-byte
+# value tag, with registered body types embedded by their body tag.
+
+_V_JSON = 0      # one JSON chunk (the whole subtree is JSON-able)
+_V_LIST = 1      # sequence of values (tuples decode as lists)
+_V_DICT = 2      # mapping: keys and values both encoded as values
+_V_BODY = 3      # a registered body type: body tag + its encoding
+_V_ENVELOPE = 4  # a whole envelope, length-prefixed
+
+
+def _pack_value(value: Any) -> bytes:
+    tag = _BODY_TAGS.get(type(value))
+    if tag is not None and type(value) is not type(None):
+        return bytes([_V_BODY, tag]) + _BODY_ENCODERS[tag][0](value)
+    if isinstance(value, Envelope):
+        data = encode_envelope(value)
+        return bytes([_V_ENVELOPE]) + struct.pack("<I", len(data)) + data
+    try:
+        return bytes([_V_JSON]) + _pack_json(value)
+    except CodecError:
+        pass
+    if isinstance(value, (list, tuple)):
+        return bytes([_V_LIST]) + struct.pack("<I", len(value)) + b"".join(
+            _pack_value(item) for item in value)
+    if isinstance(value, dict):
+        return bytes([_V_DICT]) + struct.pack("<I", len(value)) + b"".join(
+            _pack_value(key) + _pack_value(item) for key, item in value.items())
+    raise CodecError(f"value of type {type(value).__name__} is not wire-encodable")
+
+
+def _unpack_value(buffer: bytes, offset: int) -> Tuple[Any, int]:
+    vtag = buffer[offset]
+    offset += 1
+    if vtag == _V_JSON:
+        return _unpack_json(buffer, offset)
+    if vtag == _V_LIST:
+        (count,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _unpack_value(buffer, offset)
+            items.append(item)
+        return items, offset
+    if vtag == _V_DICT:
+        (count,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        mapping = {}
+        for _ in range(count):
+            key, offset = _unpack_value(buffer, offset)
+            mapping[key], offset = _unpack_value(buffer, offset)
+        return mapping, offset
+    if vtag == _V_BODY:
+        tag = buffer[offset]
+        try:
+            decoder = _BODY_ENCODERS[tag][1]
+        except KeyError:
+            raise CodecError(f"unknown body tag {tag} in value") from None
+        return decoder(buffer, offset + 1)
+    if vtag == _V_ENVELOPE:
+        (length,) = struct.unpack_from("<I", buffer, offset)
+        offset += 4
+        return decode_envelope(buffer[offset:offset + length]), offset + length
+    raise CodecError(f"unknown value tag {vtag}")
+
+
+def _encode_checkpoint(body: Checkpoint) -> bytes:
+    return (
+        struct.pack("<qq", body.request_index, body.processed_index)
+        + _pack_value(body.app_state)
+        + _pack_value(body.time_state)
+        + _pack_value(body.extra)
+    )
+
+
+def _decode_checkpoint(buffer: bytes, offset: int) -> Tuple[Checkpoint, int]:
+    request_index, processed_index = struct.unpack_from("<qq", buffer, offset)
+    offset += 16
+    app_state, offset = _unpack_value(buffer, offset)
+    time_state, offset = _unpack_value(buffer, offset)
+    extra, offset = _unpack_value(buffer, offset)
+    return (
+        Checkpoint(app_state, request_index, time_state, processed_index, extra),
+        offset,
+    )
+
+
+def _pack_opt_int(value) -> bytes:
+    if value is None:
+        return b"\x00"
+    return b"\x01" + struct.pack("<q", value)
+
+
+def _unpack_opt_int(buffer: bytes, offset: int):
+    flag = buffer[offset]
+    offset += 1
+    if not flag:
+        return None, offset
+    (value,) = struct.unpack_from("<q", buffer, offset)
+    return value, offset + 8
+
+
+def _encode_time_state(body: TimeTransferState) -> bytes:
+    parts = [struct.pack("<H", len(body.rounds))]
+    for thread_id in sorted(body.rounds):
+        parts.append(_pack_str(thread_id))
+        parts.append(struct.pack("<q", body.rounds[thread_id]))
+    parts.append(struct.pack("<H", len(body.accepted)))
+    for thread_id in sorted(body.accepted):
+        parts.append(_pack_str(thread_id))
+        parts.append(struct.pack("<q", body.accepted[thread_id]))
+    parts.append(struct.pack("<H", len(body.buffered)))
+    for thread_id in sorted(body.buffered):
+        messages = body.buffered[thread_id]
+        parts.append(_pack_str(thread_id))
+        parts.append(struct.pack("<H", len(messages)))
+        parts.extend(_encode_ccs(message) for message in messages)
+    parts.append(_pack_opt_int(body.last_group_us))
+    parts.append(_pack_opt_int(body.causal_floor_us))
+    return b"".join(parts)
+
+
+def _decode_time_state(buffer: bytes, offset: int) -> Tuple[TimeTransferState, int]:
+    state = TimeTransferState()
+    (count,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    for _ in range(count):
+        thread_id, offset = _unpack_str(buffer, offset)
+        (state.rounds[thread_id],) = struct.unpack_from("<q", buffer, offset)
+        offset += 8
+    (count,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    for _ in range(count):
+        thread_id, offset = _unpack_str(buffer, offset)
+        (state.accepted[thread_id],) = struct.unpack_from("<q", buffer, offset)
+        offset += 8
+    (count,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    for _ in range(count):
+        thread_id, offset = _unpack_str(buffer, offset)
+        (messages,) = struct.unpack_from("<H", buffer, offset)
+        offset += 2
+        bucket = state.buffered.setdefault(thread_id, [])
+        for _ in range(messages):
+            message, offset = _decode_ccs(buffer, offset)
+            bucket.append(message)
+    state.last_group_us, offset = _unpack_opt_int(buffer, offset)
+    state.causal_floor_us, offset = _unpack_opt_int(buffer, offset)
+    return state, offset
+
+
 _register(0, type(None), _encode_none, _decode_none)
 _register(1, CCSMessage, _encode_ccs, _decode_ccs)
 _register(2, Invocation, _encode_invocation, _decode_invocation)
@@ -153,6 +321,28 @@ _register(3, Result, _encode_result, _decode_result)
 _register(4, GroupClockStamp, _encode_stamp, _decode_stamp)
 #: tag 5: any JSON-able body (lists, dicts, strings, numbers).
 _JSON_TAG = 5
+#: tag 6: recursive value encoding (containers holding protocol objects).
+_VALUE_TAG = 6
+_register(7, Checkpoint, _encode_checkpoint, _decode_checkpoint)
+_register(8, TimeTransferState, _encode_time_state, _decode_time_state)
+
+
+def register_body_codec(tag: int, cls: type, encode: Callable,
+                        decode: Callable) -> None:
+    """Register a wire codec for an envelope body type.
+
+    For protocol modules the codec cannot import without a cycle (they
+    register themselves at import time).  ``tag`` must be unused and >= 16
+    — tags below 16 are reserved for this module.
+    """
+    if tag < 16:
+        raise CodecError(f"body tags below 16 are reserved, got {tag}")
+    if tag in _BODY_ENCODERS:
+        raise CodecError(f"body tag {tag} already registered")
+    if cls in _BODY_TAGS:
+        raise CodecError(f"{cls.__name__} already has a body codec")
+    _register(tag, cls, encode, decode)
+
 
 _MSG_TYPES = list(MsgType)
 
@@ -167,8 +357,14 @@ def encode_envelope(envelope: Envelope) -> bytes:
     if tag is not None:
         payload = _BODY_ENCODERS[tag][0](body)
     else:
-        tag = _JSON_TAG
-        payload = _pack_json(body)
+        try:
+            tag = _JSON_TAG
+            payload = _pack_json(body)
+        except CodecError:
+            # Container mixing JSON data with protocol objects (e.g. the
+            # STATE body: {"target": ..., "checkpoint": Checkpoint}).
+            tag = _VALUE_TAG
+            payload = _pack_value(body)
     return (
         struct.pack("<BqqB", _MSG_TYPES.index(header.msg_type),
                     header.conn_id, header.msg_seq_num, tag)
@@ -191,12 +387,18 @@ def decode_envelope(buffer: bytes) -> Envelope:
         sender, offset = _unpack_str(buffer, offset)
         if tag == _JSON_TAG:
             body, offset = _unpack_json(buffer, offset)
+        elif tag == _VALUE_TAG:
+            body, offset = _unpack_value(buffer, offset)
         else:
             try:
                 decoder = _BODY_ENCODERS[tag][1]
             except KeyError:
                 raise CodecError(f"unknown body tag {tag}") from None
             body, offset = decoder(buffer, offset)
+        if offset != len(buffer):
+            raise CodecError(
+                f"envelope has {len(buffer) - offset} trailing bytes"
+            )
         header = MessageHeader(
             _MSG_TYPES[type_index], src_grp, dst_grp, conn_id, msg_seq_num
         )

@@ -109,6 +109,10 @@ class Replica(abc.ABC):
         self._members_before_suspension: frozenset = frozenset()
         #: Nodes of the component we were suspended in.
         self._component_nodes: frozenset = frozenset()
+        #: Whether our current Totem component is the primary one.  True
+        #: until told otherwise: a simulated cluster installs its full
+        #: (primary) ring before delivering any group view.
+        self._component_primary = True
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -161,6 +165,7 @@ class Replica(abc.ABC):
         itself in a non-primary component suspends; when the partition
         heals it either resumes (if no group member kept processing
         elsewhere) or rejoins through a fresh state transfer."""
+        self._component_primary = change.is_primary
         self.time_source.on_config_change(change)
         if not change.is_primary:
             if not self.suspended and self.state_transfer.ready:
@@ -266,7 +271,16 @@ class Replica(abc.ABC):
     def _on_view_change(self, view: GroupView) -> None:
         if not self._join_observed and self.node_id in view.members:
             self._join_observed = True
-            if len(view.members) == 1 and not self.join_existing:
+            if (
+                len(view.members) == 1
+                and not self.join_existing
+                and self._component_primary
+            ):
+                # Founding is only safe inside the primary component: a
+                # lone replica in a minority component (e.g. a daemon
+                # whose ring has not yet merged with its peers at cold
+                # start) must assume the group already exists elsewhere
+                # and synchronize through state transfer instead.
                 self.state_transfer.mark_founder()
             else:
                 self.state_transfer.request_state()

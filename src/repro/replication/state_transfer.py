@@ -125,9 +125,15 @@ class StateTransferManager:
         group failed — found it afresh with initial state."""
         if self.ready or not self.replica.node.alive:
             return
-        if tuple(self.replica.endpoint.view.members) != (self.replica.node_id,):
-            # Others exist; a transfer should still be coming.  Re-ask in
-            # case our GET_STATE raced a membership change.
+        if (
+            tuple(self.replica.endpoint.view.members)
+            != (self.replica.node_id,)
+            or not self.replica._component_primary
+        ):
+            # Others exist, or we sit in a minority component where the
+            # group may be running without us (live cold start before
+            # the rings merge): a transfer should still be coming.
+            # Re-ask in case our GET_STATE raced a membership change.
             self.request_state()
             return
         self.replica.time_source.finish_recovery()

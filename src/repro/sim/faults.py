@@ -78,17 +78,45 @@ class FaultPlan:
 
     # -- execution ----------------------------------------------------------
 
-    def arm(self, bed) -> "FaultPlan":
+    def arm(self, bed, *, absolute: bool = False) -> "FaultPlan":
         """Schedule every event on the testbed's simulator.
 
-        Times are relative to the moment of arming.
+        Times are relative to the moment of arming by default; with
+        ``absolute=True`` they are absolute kernel times.  Misconfigured
+        plans — unknown node names, absolute times already in the past —
+        are rejected here, before anything is scheduled, rather than
+        failing mid-experiment inside the kernel.
         """
         if self._armed:
             raise ConfigurationError("fault plan already armed")
+        self._validate(bed, absolute)
         self._armed = True
         for event in sorted(self.events, key=lambda e: e.at_s):
-            bed.sim.schedule(event.at_s, self._inject, bed, event)
+            delay = event.at_s - bed.sim.now if absolute else event.at_s
+            bed.sim.schedule(delay, self._inject, bed, event)
         return self
+
+    def _validate(self, bed, absolute: bool) -> None:
+        known = set(bed.node_ids)
+        for event in self.events:
+            if absolute and event.at_s < bed.sim.now:
+                raise ConfigurationError(
+                    f"fault event {event} lies in the past "
+                    f"(kernel time is {bed.sim.now * 1000:.2f} ms)"
+                )
+            if event.kind in ("crash", "recover"):
+                if event.target[0] not in known:
+                    raise ConfigurationError(
+                        f"fault event {event} targets unknown node "
+                        f"{event.target[0]!r}; nodes are {sorted(known)}"
+                    )
+            elif event.kind == "partition":
+                unknown = set().union(*event.target) - known
+                if unknown:
+                    raise ConfigurationError(
+                        f"fault event {event} partitions unknown "
+                        f"node(s) {sorted(unknown)}; nodes are {sorted(known)}"
+                    )
 
     def _inject(self, bed, event: FaultEvent) -> None:
         if event.kind == "crash":

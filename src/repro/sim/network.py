@@ -12,6 +12,11 @@ exercise Totem's recovery and primary-component logic).
 
 Determinism: all randomness comes from the stream handed in at
 construction, so identical seeds give identical packet timings.
+
+:class:`Network` is the simulated backend of the
+:class:`repro.net.transport.Transport` contract; the live counterpart is
+:class:`repro.net.udp.UdpTransport`, which carries the same frames over
+real UDP sockets.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from typing import Any, Callable, Dict, Optional
 
 from .. import obs
 from ..errors import NetworkError
+from ..net.transport import Transport, TransportPort
 from .kernel import Simulator
 
 # -- observability instruments (zero-cost while the registry is off) ----
@@ -69,7 +75,7 @@ class Frame:
     seq: int = field(default=0)
 
 
-class Interface:
+class Interface(TransportPort):
     """A node's attachment point to the network."""
 
     def __init__(self, network: "Network", node_id: str,
@@ -120,7 +126,7 @@ class Interface:
         self._deliver(frame)
 
 
-class Network:
+class Network(Transport):
     """The broadcast LAN connecting all simulated nodes."""
 
     def __init__(

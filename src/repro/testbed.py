@@ -6,6 +6,12 @@ mirroring the experimental setup of Section 4.2 (four PCs on a quiet
 100 Mbit/s Ethernet, one Totem instance per node, a client on the ring
 leader invoking a three-way actively replicated server).
 
+Everything above the substrate — deployment, time-source selection,
+execution, fault injection — lives in :class:`TestbedBase`, shared with
+the live counterpart :class:`repro.net.testbed.LiveTestbed`, which runs
+the identical stack over real UDP sockets and wall clocks.  Workload
+code written against this API runs unmodified in either mode.
+
 Example::
 
     bed = Testbed(seed=42)
@@ -50,6 +56,7 @@ from .replication import (
 )
 from .rpc import RpcClient
 from .sim import Cluster, ClusterConfig
+from .sim.node import Node
 from .totem import TotemConfig, TotemProcessor
 
 #: Replication styles by name.
@@ -62,31 +69,32 @@ STYLES = {
 TimeSourceSpec = Union[str, Callable[[Replica], TimeSource]]
 
 
-class Testbed:
-    """A running cluster with Totem and group runtimes on every node."""
+class TestbedBase:
+    """Deployment and execution API over a set of nodes with Totem.
+
+    Substrate-independent: subclasses provide the kernel and the nodes
+    (simulated cluster or live UDP hosts) by calling :meth:`_init_stack`;
+    everything else — replica deployment, clients, time-source wiring,
+    fault injection — is identical in both modes.
+    """
 
     __test__ = False  # not a pytest test class, despite the name
 
-    def __init__(
-        self,
-        *,
-        num_nodes: int = 4,
-        seed: int = 0,
-        cluster_config: Optional[ClusterConfig] = None,
-        totem_config: Optional[TotemConfig] = None,
-    ):
-        config = cluster_config or ClusterConfig(num_nodes=num_nodes)
-        self.cluster = Cluster(config, seed=seed)
-        self.sim = self.cluster.sim
-        # Metric samples are stamped in this cluster's simulated time.
+    def _init_stack(self, sim, nodes: Dict[str, Node],
+                    totem_config: Optional[TotemConfig]) -> None:
+        """Install the protocol stack: one Totem processor and one group
+        runtime per node, all sharing the static membership."""
+        self.sim = sim
+        self._nodes = dict(nodes)
+        # Metric samples are stamped in this testbed's kernel time.
         obs.REGISTRY.set_clock(lambda: self.sim.now)
         self.totem_config = totem_config or TotemConfig()
         self.processors: Dict[str, TotemProcessor] = {}
         self.runtimes: Dict[str, GroupRuntime] = {}
-        static = self.cluster.node_ids
+        static = list(self._nodes)
         for node_id in static:
             processor = TotemProcessor(
-                self.cluster.node(node_id),
+                self._nodes[node_id],
                 self.totem_config,
                 static_membership=static,
             )
@@ -96,6 +104,15 @@ class Testbed:
         self.services: Dict[str, Dict[str, Replica]] = {}
         self.clients: Dict[str, RpcClient] = {}
         self._started = False
+
+    # -- node access ---------------------------------------------------
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    def node(self, node_id: str) -> Node:
+        return self._nodes[node_id]
 
     # ------------------------------------------------------------------
     # Deployment
@@ -170,16 +187,8 @@ class Testbed:
         self.clients[client.group] = client
         return client
 
-    def install_ntp(self, **daemon_kwargs):
-        """Discipline every node's clock with an NTP-style daemon."""
-        return install_ntp_daemons(
-            self.cluster.nodes.values(),
-            lambda node_id: self.cluster.rngs.stream(f"ntp.{node_id}"),
-            **daemon_kwargs,
-        )
-
+    @staticmethod
     def _time_source_factory(
-        self,
         spec: TimeSourceSpec,
         style: str,
         drift: Optional[DriftCompensation],
@@ -208,7 +217,7 @@ class Testbed:
 
     def start(self, settle: float = 0.2) -> None:
         """Boot Totem on every node, start all deployed replicas, and run
-        until rings and groups settle (``settle`` simulated seconds)."""
+        until rings and groups settle (``settle`` kernel seconds)."""
         if self._started:
             return
         self._started = True
@@ -220,16 +229,16 @@ class Testbed:
         self.run(settle)
 
     def run(self, duration: float) -> None:
-        """Advance the simulation by ``duration`` seconds."""
+        """Advance the kernel by ``duration`` seconds."""
         self.sim.run(until=self.sim.now + duration)
 
-    def run_process(self, generator, name: str = "scenario"):
+    def run_process(self, generator, name: str = "scenario", **kwargs):
         """Run a scenario generator to completion and return its value."""
-        return self.sim.run_process(generator, name=name)
+        return self.sim.run_process(generator, name=name, **kwargs)
 
     def crash(self, node_id: str) -> None:
         """Fail-stop the node (processes, clock, network all stop)."""
-        self.cluster.node(node_id).crash()
+        self.node(node_id).crash()
         for replicas in self.services.values():
             replicas.pop(node_id, None)
 
@@ -242,10 +251,10 @@ class Testbed:
         with :meth:`add_replica` afterwards — they recover their state
         via state transfer.
         """
-        node = self.cluster.node(node_id)
+        node = self.node(node_id)
         node.recover()
         processor = TotemProcessor(
-            node, self.totem_config, static_membership=self.cluster.node_ids
+            node, self.totem_config, static_membership=self.node_ids
         )
         self.processors[node_id] = processor
         self.runtimes[node_id] = GroupRuntime(processor)
@@ -255,3 +264,27 @@ class Testbed:
     def replicas(self, group: str) -> Dict[str, Replica]:
         """The live replicas of a group, keyed by node."""
         return self.services[group]
+
+
+class Testbed(TestbedBase):
+    """A simulated cluster with Totem and group runtimes on every node."""
+
+    def __init__(
+        self,
+        *,
+        num_nodes: int = 4,
+        seed: int = 0,
+        cluster_config: Optional[ClusterConfig] = None,
+        totem_config: Optional[TotemConfig] = None,
+    ):
+        config = cluster_config or ClusterConfig(num_nodes=num_nodes)
+        self.cluster = Cluster(config, seed=seed)
+        self._init_stack(self.cluster.sim, self.cluster.nodes, totem_config)
+
+    def install_ntp(self, **daemon_kwargs):
+        """Discipline every node's clock with an NTP-style daemon."""
+        return install_ntp_daemons(
+            self.cluster.nodes.values(),
+            lambda node_id: self.cluster.rngs.stream(f"ntp.{node_id}"),
+            **daemon_kwargs,
+        )

@@ -1,0 +1,115 @@
+"""LiveKernel: the simulator's event API on an asyncio loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.kernel import LiveKernel
+from repro.sim.kernel import Event
+
+
+@pytest.fixture
+def kernel():
+    k = LiveKernel()
+    yield k
+    k.close()
+
+
+class TestClock:
+    def test_now_starts_near_zero(self, kernel):
+        assert 0.0 <= kernel.now < 0.1
+
+    def test_now_advances_with_real_time(self, kernel):
+        before = kernel.now
+        kernel.run(until=kernel.now + 0.03)
+        assert kernel.now - before >= 0.03
+
+
+class TestScheduling:
+    def test_schedule_fires_callback(self, kernel):
+        fired = []
+        kernel.schedule(0.01, lambda: fired.append(kernel.now))
+        kernel.run(until=kernel.now + 0.05)
+        assert len(fired) == 1
+        assert fired[0] >= 0.01
+
+    def test_schedule_ordering_preserved(self, kernel):
+        order = []
+        kernel.schedule(0.03, lambda: order.append("late"))
+        kernel.schedule(0.01, lambda: order.append("early"))
+        kernel.run(until=kernel.now + 0.06)
+        assert order == ["early", "late"]
+
+    def test_timeout_event_succeeds(self, kernel):
+        results = []
+        kernel.timeout(0.01, value="done")._add_callback(
+            lambda event: results.append(event._value))
+        kernel.run(until=kernel.now + 0.05)
+        assert results == ["done"]
+
+
+class TestRun:
+    def test_run_requires_until(self, kernel):
+        with pytest.raises(SimulationError, match="explicit 'until'"):
+            kernel.run()
+
+    def test_run_rejects_max_events(self, kernel):
+        with pytest.raises(SimulationError, match="max_events"):
+            kernel.run(until=kernel.now + 0.01, max_events=10)
+
+    def test_run_past_until_is_noop(self, kernel):
+        kernel.run(until=kernel.now - 5.0)  # already in the past
+
+
+class TestProcesses:
+    def test_run_process_returns_value(self, kernel):
+        def proc():
+            yield kernel.timeout(0.01)
+            return 42
+
+        assert kernel.run_process(proc(), name="answer") == 42
+
+    def test_run_process_propagates_failure(self, kernel):
+        def proc():
+            yield kernel.timeout(0.005)
+            raise RuntimeError("scenario went wrong")
+
+        with pytest.raises(RuntimeError, match="scenario went wrong"):
+            kernel.run_process(proc())
+
+    def test_run_process_timeout(self, kernel):
+        def proc():
+            yield Event(kernel)  # never triggered
+
+        with pytest.raises(SimulationError, match="did not finish"):
+            kernel.run_process(proc(), name="stuck", timeout=0.05)
+
+
+class TestFailures:
+    def test_unheeded_failure_raised_at_run_boundary(self, kernel):
+        def proc():
+            yield kernel.timeout(0.005)
+            raise ValueError("nobody is watching")
+
+        kernel.process(proc(), name="orphan")
+        with pytest.raises(ValueError, match="nobody is watching"):
+            kernel.run(until=kernel.now + 0.05)
+
+    def test_drain_failures_clears_backlog(self, kernel):
+        def proc():
+            yield kernel.timeout(0.005)
+            raise ValueError("drained instead")
+
+        kernel.process(proc(), name="orphan")
+        # Drive the loop directly, daemon-style, then drain.
+        kernel.loop.run_until_complete(__import__("asyncio").sleep(0.05))
+        failures = kernel.drain_failures()
+        assert [type(f) for f in failures] == [ValueError]
+        kernel.run(until=kernel.now + 0.01)  # nothing left to raise
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        kernel = LiveKernel()
+        kernel.close()
+        kernel.close()
+        assert kernel.loop.is_closed()

@@ -1,0 +1,68 @@
+"""Loopback smoke test: a 3-node group over real UDP, with failover.
+
+The acceptance scenario for live mode: group-clock reads stay identical
+across replicas and monotonically increasing, including across a forced
+kill of the ring leader.  Kept under ~10 s of wall time.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.net.testbed import LiveTestbed
+from repro.net.timing import live_totem_config
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from support import ClockApp, call_n  # noqa: E402
+
+pytestmark = pytest.mark.live
+
+
+def group_clock_values(bed, group):
+    """Every live replica's last decided group clock value."""
+    return {
+        node_id: replica.time_source.clock_state.last_group_us
+        for node_id, replica in bed.replicas(group).items()
+    }
+
+
+def test_three_node_loopback_with_leader_kill():
+    with LiveTestbed(num_nodes=3, seed=42) as bed:
+        bed.deploy("timesvc", ClockApp, nodes=bed.node_ids,
+                   style="active", time_source="cts")
+        client = bed.client("n2")
+        bed.start(settle=0.5)
+        bed.wait_until(
+            lambda: all(
+                len(bed.processors[n].members) == 3 for n in bed.node_ids
+            ),
+            timeout=8.0,
+        )
+
+        before = call_n(bed, client, "timesvc", "get_time", 4)
+        assert all(b > a for a, b in zip(before, before[1:]))
+        # Rounds settle, then every replica agrees on the decision.
+        bed.run(0.1)
+        decided = group_clock_values(bed, "timesvc")
+        assert len(set(decided.values())) == 1, decided
+
+        # Kill the ring leader (the representative, first ring member).
+        leader = bed.processors["n2"].members[0]
+        assert leader != "n2", "client node must survive this scenario"
+        bed.crash(leader)
+        bed.wait_until(
+            lambda: len(bed.processors["n2"].members) == 2, timeout=8.0)
+
+        after = call_n(bed, client, "timesvc", "get_time", 4)
+        sequence = before + after
+        assert all(b > a for a, b in zip(sequence, sequence[1:]))
+        bed.run(0.1)
+        decided = group_clock_values(bed, "timesvc")
+        assert len(decided) == 2  # crashed node dropped from the group
+        assert len(set(decided.values())) == 1, decided
+
+
+def test_live_totem_config_validates():
+    config = live_totem_config()
+    assert config.token_loss_timeout_s > config.token_retransmit_timeout_s

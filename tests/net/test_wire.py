@@ -1,0 +1,92 @@
+"""Deterministic error-path tests for the live wire format.
+
+Round-trip coverage lives in ``tests/properties/test_wire_roundtrip.py``;
+this file pins the specific rejections the daemon relies on to survive a
+hostile or confused peer on its UDP port.
+"""
+
+import struct
+
+import pytest
+
+from repro.net.wire import (
+    FrameError,
+    HEADER_SIZE,
+    MAGIC,
+    WIRE_VERSION,
+    decode_frame,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    frame,
+    unframe,
+)
+from repro.replication import MsgType, make_envelope
+from repro.rpc import Invocation
+
+
+def sample_envelope():
+    return make_envelope(
+        MsgType.REQUEST, "cli", "srv", 1, 7, "n0",
+        body=Invocation("get_time", ()),
+    )
+
+
+class TestFraming:
+    def test_header_layout(self):
+        data = frame("n0", b"xyz")
+        assert data[:2] == MAGIC
+        assert data[2] == WIRE_VERSION
+        (length,) = struct.unpack_from("<I", data, 3)
+        assert length == len(data) - HEADER_SIZE
+
+    def test_unframe_returns_src_and_payload(self):
+        src, payload = unframe(frame("n2", b"payload"))
+        assert src == "n2"
+        assert payload == b"payload"
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(FrameError, match="short frame"):
+            unframe(b"CT\x01")
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(frame("n0", b"x"))
+        data[0] = ord("X")
+        with pytest.raises(FrameError, match="bad magic"):
+            unframe(bytes(data))
+
+    def test_future_version_rejected(self):
+        data = bytearray(frame("n0", b"x"))
+        data[2] = WIRE_VERSION + 1
+        with pytest.raises(FrameError, match="unsupported wire version"):
+            unframe(bytes(data))
+
+    def test_length_mismatch_rejected(self):
+        data = frame("n0", b"x")
+        with pytest.raises(FrameError, match="length mismatch"):
+            unframe(data + b"zz")
+
+    def test_trailing_garbage_after_payload_rejected(self):
+        data = frame("n0", encode_payload(sample_envelope()) + b"\x00")
+        with pytest.raises(FrameError, match="trailing bytes"):
+            decode_frame(data)
+
+
+class TestPayloads:
+    def test_envelope_roundtrip(self):
+        env = sample_envelope()
+        src, decoded = decode_frame(encode_frame("n0", env))
+        assert src == "n0"
+        assert decoded == env
+
+    def test_unknown_kind_tag_rejected(self):
+        with pytest.raises(FrameError, match="unknown payload kind"):
+            decode_payload(b"\xff", 0)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(FrameError):
+            decode_payload(b"", 0)
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(FrameError, match="not wire-encodable"):
+            encode_payload(object())

@@ -121,7 +121,7 @@ class TestErrors:
         env = make_envelope(
             MsgType.APP, "g", "g", 0, 0, "n1", body=object()
         )
-        with pytest.raises(CodecError, match="not JSON-encodable"):
+        with pytest.raises(CodecError, match="not wire-encodable"):
             encode_envelope(env)
 
     def test_malformed_buffer_rejected(self):

@@ -43,6 +43,53 @@ class TestFaultPlanConstruction:
             plan.arm(bed)
 
 
+class TestValidation:
+    def test_crash_unknown_node_rejected_at_arm(self):
+        bed = make_testbed(seed=166)
+        plan = FaultPlan().crash("n9", at=0.01)
+        with pytest.raises(ConfigurationError, match="unknown node 'n9'"):
+            plan.arm(bed)
+
+    def test_recover_unknown_node_rejected_at_arm(self):
+        bed = make_testbed(seed=166)
+        plan = FaultPlan().recover("nope", at=0.01)
+        with pytest.raises(ConfigurationError, match="unknown node"):
+            plan.arm(bed)
+
+    def test_partition_unknown_member_rejected_at_arm(self):
+        bed = make_testbed(seed=166)
+        plan = FaultPlan().partition({"n0", "n1"}, {"n2", "n7"}, at=0.01)
+        with pytest.raises(ConfigurationError, match=r"\['n7'\]"):
+            plan.arm(bed)
+
+    def test_rejected_plan_schedules_nothing(self):
+        bed = make_testbed(seed=166)
+        plan = FaultPlan().heal(at=0.01).crash("n9", at=0.02)
+        with pytest.raises(ConfigurationError):
+            plan.arm(bed)
+        bed.run(0.05)
+        assert plan.injected == []
+        # The plan stays un-armed, so it can be fixed and re-armed.
+        assert not plan._armed
+
+    def test_absolute_time_in_past_rejected(self):
+        bed = make_testbed(seed=167)
+        bed.run(0.1)
+        plan = FaultPlan().crash("n1", at=0.05)
+        with pytest.raises(ConfigurationError, match="in the past"):
+            plan.arm(bed, absolute=True)
+
+    def test_absolute_times_fire_at_kernel_time(self):
+        bed = make_testbed(seed=167)
+        bed.run(0.1)
+        fired = []
+        plan = FaultPlan().call(lambda: fired.append(bed.sim.now), at=0.15)
+        plan.arm(bed, absolute=True)
+        bed.run(0.1)
+        assert fired == [pytest.approx(0.15)]
+        assert plan.done
+
+
 class TestInjection:
     def test_crash_injected_at_time(self):
         bed = make_testbed(seed=162)
