@@ -11,6 +11,7 @@ the benchmark harness produces.  Intended for quick exploration::
     python -m repro drift --rounds 800   # compensation ablation
     python -m repro recovery             # new-clock integration
     python -m repro metrics              # observability smoke / cross-check
+    python -m repro loadgen --compare    # coalesced vs per-op throughput
     python -m repro all                  # everything, quick scale
 
 Live mode (see ``docs/live_mode.md``) — real UDP sockets instead of the
@@ -118,7 +119,8 @@ def cmd_fig5(args) -> int:
 
 def cmd_ccs(args) -> int:
     run = run_latency_workload(
-        time_source="cts", invocations=args.rounds, seed=args.seed)
+        time_source="cts", invocations=args.rounds, seed=args.seed,
+        coalesce=args.coalesce)
     rows = [[node, count, f"{count / max(1, run.rounds):.2%}"]
             for node, count in sorted(run.ccs_transmitted.items())]
     rows.append(["total", sum(run.ccs_transmitted.values()),
@@ -126,6 +128,68 @@ def cmd_ccs(args) -> int:
     print(format_table(["node", "CCS transmitted", "share"], rows,
                        title="TAB-CCS duplicate suppression "
                              "(paper: 1 / 9977 / 22)"))
+    per_op = (sum(run.ccs_transmitted.values()) / run.ops_completed
+              if run.ops_completed else 0.0)
+    print(f"clock ops per replica: {run.ops_completed}  "
+          f"coalesced: {run.ops_coalesced}  "
+          f"CCS messages/op: {per_op:.3f}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Closed-loop load generator: ops/sec, tails, and CCS economy."""
+    from .workloads import (
+        record_benchmark,
+        run_loadgen,
+        run_loadgen_comparison,
+    )
+
+    if args.compare or args.bench_json:
+        results = run_loadgen_comparison(
+            concurrency=args.concurrency, duration_s=args.duration,
+            seed=args.seed, fast_path=args.fast_path,
+            max_staleness_us=args.max_staleness_us)
+    else:
+        single = run_loadgen(
+            concurrency=args.concurrency, duration_s=args.duration,
+            seed=args.seed, coalesce=args.coalesce,
+            fast_path=args.fast_path,
+            max_staleness_us=args.max_staleness_us)
+        results = {single.mode: single}
+    rows = [
+        [r.mode, f"{r.ops_per_s:.0f}", f"{r.p50_us:.0f}",
+         f"{r.p99_us:.0f}", f"{r.ccs_per_op:.3f}",
+         r.ops_coalesced, r.fast_path_hits]
+        for r in results.values()
+    ]
+    print(format_table(
+        ["mode", "ops/s", "p50 us", "p99 us", "CCS/op",
+         "coalesced", "fast hits"],
+        rows,
+        title=f"LOADGEN closed loop, {args.concurrency} workers x "
+              f"{args.duration:.2f} s"))
+    per_op = results.get("per-op-rounds")
+    amortized = (results.get("coalesced+fast-path")
+                 or results.get("coalesced"))
+    if per_op is not None and amortized is not None and per_op.ops_per_s:
+        print(f"speedup vs per-op rounds: "
+              f"x{amortized.ops_per_s / per_op.ops_per_s:.2f}")
+    if args.bench_json:
+        record_benchmark(args.bench_json, results)
+        print(f"benchmark trajectory appended to {args.bench_json}",
+              file=sys.stderr)
+    if args.assert_counters:
+        target = amortized or next(iter(results.values()))
+        failures = []
+        if target.ops_coalesced <= 0:
+            failures.append("no operations were coalesced")
+        if args.fast_path and target.fast_path_hits <= 0:
+            failures.append("the fast path never served a read")
+        if target.errors:
+            failures.append(f"{target.errors} client calls failed")
+        for failure in failures:
+            print(f"ASSERT: {failure}", file=sys.stderr)
+        return 1 if failures else 0
     return 0
 
 
@@ -378,6 +442,9 @@ def cmd_serve(args) -> int:
         peers=peers,
         group=args.group,
         style=args.style,
+        coalesce=args.coalesce,
+        fast_path=args.fast_path,
+        max_staleness_us=args.max_staleness_us,
         clock_epoch_us=args.clock_offset_us,
         clock_drift_ppm=args.clock_drift_ppm,
         join_existing=args.join,
@@ -460,6 +527,7 @@ COMMANDS = {
     "partition": cmd_partition,
     "scale": cmd_scale,
     "metrics": cmd_metrics,
+    "loadgen": cmd_loadgen,
     "all": cmd_all,
     "serve": cmd_serve,
     "call": cmd_call,
@@ -532,6 +600,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "in Prometheus text exposition format)")
     parser.add_argument("--trace", action="store_true",
                         help="stream protocol trace events to stderr")
+    svc = parser.add_argument_group(
+        "time service tuning", "CTS options for 'serve', 'ccs' and 'loadgen'")
+    svc.add_argument("--no-coalesce", dest="coalesce", action="store_false",
+                     help="one CCS round per clock operation (disable "
+                          "round coalescing)")
+    svc.add_argument("--fast-path", action="store_true",
+                     help="serve drift-bounded reads locally between "
+                          "rounds (relaxes cross-replica agreement within "
+                          "the staleness budget)")
+    svc.add_argument("--max-staleness-us", type=int, default=2_000,
+                     help="fast path staleness budget in microseconds")
+    load = parser.add_argument_group(
+        "load generator", "options for 'loadgen'")
+    load.add_argument("--concurrency", type=int, default=16,
+                      help="closed-loop worker count")
+    load.add_argument("--duration", type=float, default=0.3,
+                      help="measurement window in (virtual) seconds")
+    load.add_argument("--compare", action="store_true",
+                      help="run per-op-rounds and coalesced modes back "
+                           "to back and report the speedup")
+    load.add_argument("--bench-json", metavar="PATH", default=None,
+                      help="append the comparison to the persisted "
+                           "benchmark trajectory at PATH (implies "
+                           "--compare)")
+    load.add_argument("--assert-counters", action="store_true",
+                      help="exit nonzero unless coalescing (and, with "
+                           "--fast-path, fast path) counters are nonzero "
+                           "— the CI perf smoke check")
     live = parser.add_argument_group(
         "live mode", "options for 'serve' and 'call' (see docs/live_mode.md)")
     live.add_argument("--node", default=None,

@@ -5,22 +5,37 @@ A :class:`CCSHandler` owns the thread's CCS round counter and input
 buffer; the thread blocks in ``get_grp_clock_time()`` until the first
 matching CCS message is delivered — here, the blocked operation parks on
 an event the handler wakes when a message lands in the empty buffer.
+
+Two execution disciplines share the handler:
+
+* **Per-operation rounds** (the paper's Figure 2, one round per clock
+  operation): the blocked operation is a :class:`PendingRound` and
+  ``my_round_number`` advances when the operation starts.
+* **Coalesced rounds** (round amortization): many concurrent operations
+  share one round.  Operations park as :class:`PendingOp` entries keyed
+  by replica-independent operation ids, at most one
+  :class:`RoundInFlight` exists per handler, and ``my_round_number``
+  advances when a round's winning message is *consumed*.  Consumed
+  rounds are retained (:class:`ConsumedRound`) so a covered operation
+  that is issued late — after its round was already consumed — still
+  adopts the agreed value of the correct round.
 """
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Optional
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
 
 from ..errors import TimeServiceError
 from ..sim.kernel import Event, Simulator
-from .messages import CCSMessage
+from .messages import CCSMessage, OpId
 
 
 @dataclass
 class PendingRound:
-    """The round a thread is currently blocked in."""
+    """The round a thread is currently blocked in (per-op mode)."""
 
     round_number: int
     proposal_us: int
@@ -32,26 +47,90 @@ class PendingRound:
     started_at: float
 
 
+@dataclass(order=True)
+class PendingOp:
+    """One coalesced clock operation parked while a round is in flight."""
+
+    op_id: OpId
+    call: object = field(compare=False)
+    result: Event = field(compare=False)
+    started_at: float = field(compare=False)
+    #: Session floor carried by the request (the client's last-seen
+    #: value): the reply must exceed it.  Rides the totally ordered
+    #: request, so every replica applies the same clamp to this op.
+    floor_us: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass
+class RoundInFlight:
+    """The (single) coalesced round currently awaiting its winner."""
+
+    round_number: int
+    #: Operation id this round covers *as proposed by us*; the winning
+    #: message's covering point is what actually binds.
+    covers: OpId
+    proposal_us: int
+    physical_us: int
+    call_type_id: int
+    sent: bool
+    started_at: float
+
+
+@dataclass(frozen=True)
+class ConsumedRound:
+    """A consumed coalesced round, retained for late-issued covered ops."""
+
+    round_number: int
+    covers: OpId
+    group_us: int
+
+
 class CCSHandler:
     """my_thread_id, my_round_number, my_input_buffer and friends."""
 
     def __init__(self, sim: Simulator, thread_id: str, start_round: int = 0):
         self.sim = sim
         self.my_thread_id = thread_id
-        #: Incremented once per clock-related operation (Figure 2 line 9).
+        #: Per-op mode: incremented once per clock operation (Figure 2
+        #: line 9).  Coalesced mode: the highest *consumed* round.
         self.my_round_number = start_round
         #: Received CCS messages not yet consumed by an operation.
         self.my_input_buffer: Deque[CCSMessage] = deque()
-        #: The operation currently blocked waiting for a message, if any.
-        self.pending: Optional[PendingRound] = None
+        #: The operation currently blocked waiting for a message, if any
+        #: (per-op mode only; see the ``pending`` property).
+        self._pending: Optional[PendingRound] = None
         self._waiter: Optional[Event] = None
         self.rounds_completed = 0
+        # -- coalesced-mode state --------------------------------------
+        #: Operations parked until a round covering them is consumed,
+        #: kept sorted by operation id.
+        self.parked: List[PendingOp] = []
+        #: The coalesced round awaiting its winning message, if any.
+        self.in_flight: Optional[RoundInFlight] = None
+        #: Consumed rounds retained for late-issued covered operations,
+        #: in round order (covering points strictly increase with it).
+        self.consumed: Deque[ConsumedRound] = deque()
+        #: Highest operation id assigned on this thread — resumes the
+        #: fallback numbering for reads without an explicit id.
+        self.last_op_id: OpId = (0, 0)
 
     # ------------------------------------------------------------------
 
+    @property
+    def pending(self):
+        """The protocol position currently blocked, whatever the mode:
+        the per-op :class:`PendingRound` or the coalesced
+        :class:`RoundInFlight` (both carry ``round_number`` and ``sent``,
+        which is all the suppression and failover paths touch)."""
+        return self._pending if self._pending is not None else self.in_flight
+
+    @pending.setter
+    def pending(self, value: Optional[PendingRound]) -> None:
+        self._pending = value
+
     def next_round(self) -> int:
-        """Start a new round (only one can be in flight per thread)."""
-        if self.pending is not None:
+        """Start a new per-op round (only one can be in flight)."""
+        if self._pending is not None:
             raise TimeServiceError(
                 f"thread {self.my_thread_id!r} started a clock operation "
                 "while a previous one is still blocked"
@@ -84,29 +163,107 @@ class CCSHandler:
             )
         return self.my_input_buffer.popleft()
 
-    def abort_pending(self, reason: str) -> bool:
-        """Fail the blocked operation (if any) and orphan its waiter.
+    # ------------------------------------------------------------------
+    # Coalesced operations
+    # ------------------------------------------------------------------
 
-        Returns True if an operation was aborted.  The orphaned waiter
-        event is never triggered; subsequent messages land in the buffer
+    def assign_op_id(self, op_id: Optional[OpId]) -> OpId:
+        """Fix the identity of one coalesced operation.
+
+        Explicit ids come from the replica runtime (``(request_index,
+        read_seq)``, replica-independent).  Reads without one — dedicated
+        threads, the special state-transfer round — continue the thread's
+        own sequence, which is deterministic because such reads are
+        issued sequentially (the special round runs at a quiescent
+        point, where ``last_op_id`` is identical at every replica).
+        """
+        if op_id is None:
+            op_id = (self.last_op_id[0], self.last_op_id[1] + 1)
+        if op_id > self.last_op_id:
+            self.last_op_id = op_id
+        return op_id
+
+    def park(self, op: PendingOp) -> None:
+        """Park an operation until a round covering it is consumed."""
+        bisect.insort(self.parked, op)
+
+    def take_covered(self, covers: OpId) -> List[PendingOp]:
+        """Remove and return the parked operations with id <= ``covers``,
+        in operation order."""
+        cut = 0
+        while cut < len(self.parked) and self.parked[cut].op_id <= covers:
+            cut += 1
+        served, self.parked = self.parked[:cut], self.parked[cut:]
+        return served
+
+    def take_oldest(self) -> List[PendingOp]:
+        """Remove and return just the oldest parked operation (the
+        serving discipline for a legacy per-op message, which covers
+        exactly one operation)."""
+        if not self.parked:
+            return []
+        return [self.parked.pop(0)]
+
+    def retain_consumed(self, entry: ConsumedRound) -> None:
+        """Remember a consumed round for late-issued covered operations."""
+        self.consumed.append(entry)
+
+    def lookup_consumed(self, op_id: OpId) -> Optional[ConsumedRound]:
+        """The first consumed round covering ``op_id``, if any.
+
+        Covering points increase strictly with the round number, so the
+        first (oldest) retained entry with ``covers >= op_id`` is the
+        round every replica serves this operation from.
+        """
+        for entry in self.consumed:
+            if entry.covers >= op_id:
+                return entry
+        return None
+
+    def prune_consumed(self, min_request_index: int) -> None:
+        """Drop retained rounds no not-yet-issued operation can need:
+        once every request below ``min_request_index`` has finished, all
+        operations with ids below ``(min_request_index, 0)`` have been
+        issued, and later operations have later ids."""
+        while self.consumed and self.consumed[0].covers < (min_request_index, 0):
+            self.consumed.popleft()
+
+    # ------------------------------------------------------------------
+
+    def abort_pending(self, reason: str) -> bool:
+        """Fail every blocked operation and orphan the waiter.
+
+        Returns True if anything was aborted.  The orphaned waiter event
+        is never triggered; subsequent messages land in the buffer
         without waking anyone until the next operation installs a fresh
         waiter.
         """
-        pending, self.pending = self.pending, None
+        aborted = False
+        legacy, self._pending = self._pending, None
         self._waiter = None
-        if pending is None:
-            return False
-        if not pending.result.triggered:
-            pending.result.fail(
-                TimeServiceError(
-                    f"clock operation round {pending.round_number} on "
-                    f"thread {self.my_thread_id!r} aborted: {reason}"
-                )
+        if legacy is not None:
+            self._fail_result(legacy.result, legacy.round_number, reason)
+            aborted = True
+        round_, self.in_flight = self.in_flight, None
+        parked, self.parked = self.parked, []
+        for op in parked:
+            number = round_.round_number if round_ else self.my_round_number + 1
+            self._fail_result(op.result, number, reason)
+            aborted = True
+        return aborted
+
+    def _fail_result(self, result: Event, round_number: int, reason: str) -> None:
+        if result.triggered:
+            return
+        result.fail(
+            TimeServiceError(
+                f"clock operation round {round_number} on "
+                f"thread {self.my_thread_id!r} aborted: {reason}"
             )
-            # A deliberate abort, not a bug: don't let the scheduler
-            # re-raise if the waiting process died before observing it.
-            pending.result._fail_silently = True
-        return True
+        )
+        # A deliberate abort, not a bug: don't let the scheduler
+        # re-raise if the waiting process died before observing it.
+        result._fail_silently = True
 
     def drop_through(self, round_number: int) -> int:
         """Discard buffered messages for rounds <= ``round_number``
@@ -123,5 +280,5 @@ class CCSHandler:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<CCSHandler {self.my_thread_id} round={self.my_round_number} "
-            f"buffered={len(self.my_input_buffer)}>"
+            f"buffered={len(self.my_input_buffer)} parked={len(self.parked)}>"
         )

@@ -23,7 +23,34 @@ proposal is what everyone adopts.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Callable
+
+
+@dataclass(frozen=True)
+class DriftBound:
+    """Worst-case clock-rate error budget for the read fast path.
+
+    Between CCS rounds a replica may serve reads from its own physical
+    clock plus the last committed offset.  Such a read is wrong by at
+    most ``elapsed * drift_ppm / 1e6`` microseconds relative to the group
+    clock (the gradient-clock-synchronization bound): once that error —
+    or the raw staleness ``elapsed`` itself — would exceed its budget,
+    the service must fall back to a full CCS round.
+    """
+
+    #: Assumed worst-case physical clock drift rate, parts per million.
+    drift_ppm: float = 100.0
+    #: Maximum tolerated drift-induced error, microseconds.
+    max_error_us: int = 100
+
+    def error_us(self, elapsed_us: int) -> float:
+        """Worst-case drift error accumulated over ``elapsed_us``."""
+        return elapsed_us * self.drift_ppm / 1e6
+
+    def permits(self, elapsed_us: int) -> bool:
+        """True while the drift-error budget covers ``elapsed_us``."""
+        return self.error_us(elapsed_us) <= self.max_error_us
 
 
 class DriftCompensation(abc.ABC):

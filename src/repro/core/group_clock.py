@@ -29,6 +29,10 @@ class GroupClockState:
     last_group_us: Optional[int] = None
     #: Causal floor from other groups' piggybacked timestamps (Section 5).
     causal_floor_us: Optional[int] = None
+    #: Highest value served by the drift-bounded read fast path.  Purely
+    #: local (never transferred): it keeps this replica's *own* proposals
+    #: and fast reads strictly above everything it already handed out.
+    fast_floor_us: Optional[int] = None
     #: (round-independent) history for the evaluation harness:
     #: [(group_value_us, physical_us, offset_us)]
     history: List[Tuple[int, int, int]] = field(default_factory=list)
@@ -50,6 +54,8 @@ class GroupClockState:
             proposal = self.last_group_us + 1
         if self.causal_floor_us is not None and proposal <= self.causal_floor_us:
             proposal = self.causal_floor_us + 1
+        if self.fast_floor_us is not None and proposal <= self.fast_floor_us:
+            proposal = self.fast_floor_us + 1
         return proposal
 
     def commit(self, group_us: int, physical_us: int) -> int:
@@ -68,6 +74,13 @@ class GroupClockState:
         offset (backups observe rounds they do not perform)."""
         if self.last_group_us is None or group_us > self.last_group_us:
             self.last_group_us = group_us
+
+    def note_fast_value(self, value_us: int) -> None:
+        """A drift-bounded fast-path read served ``value_us`` locally;
+        raise the fast floor so later fast reads and our own proposals
+        stay strictly above it."""
+        if self.fast_floor_us is None or value_us > self.fast_floor_us:
+            self.fast_floor_us = value_us
 
     def observe_causal_timestamp(self, timestamp_us: int) -> None:
         """Raise the causal floor from another group's timestamp

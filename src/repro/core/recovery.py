@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from .messages import CCSMessage
+from .messages import CCSMessage, OpId
 
 
 @dataclass
@@ -27,6 +27,10 @@ class TimeTransferState:
     #: thread_id -> highest round number accepted (duplicate-detection
     #: watermark; >= the consumption point).
     accepted: Dict[str, int] = field(default_factory=dict)
+    #: thread_id -> highest coalesced operation id assigned (the
+    #: operation-numbering consumption point; replica-independent, like
+    #: the round counters).
+    ops: Dict[str, OpId] = field(default_factory=dict)
     #: Last decided group clock value, microseconds.
     last_group_us: Optional[int] = None
     #: Cross-group causal floor (Section 5 extension), microseconds.
@@ -34,4 +38,4 @@ class TimeTransferState:
 
     def wire_size(self) -> int:
         buffered = sum(len(msgs) for msgs in self.buffered.values())
-        return 48 + 16 * len(self.rounds) + 40 * buffered
+        return 48 + 16 * len(self.rounds) + 16 * len(self.ops) + 40 * buffered

@@ -40,11 +40,17 @@ from ..replication.envelope import Envelope, MsgType, make_envelope
 from ..replication.timesource import TimeSource
 from ..sim.clock import ClockValue
 from ..sim.kernel import Event
-from .ccs_handler import CCSHandler, PendingRound
-from .drift import DriftCompensation, NoCompensation
+from .ccs_handler import (
+    CCSHandler,
+    ConsumedRound,
+    PendingOp,
+    PendingRound,
+    RoundInFlight,
+)
+from .drift import DriftBound, DriftCompensation, NoCompensation
 from .group_clock import GroupClockState
 from .interposition import ClockCall, resolve_call
-from .messages import CCSMessage
+from .messages import CCSMessage, OpId
 from .recovery import TimeTransferState
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,6 +89,21 @@ M_OFFSET = obs.REGISTRY.gauge(
 M_ABORTS = obs.REGISTRY.counter(
     "ccs_rounds_aborted_total",
     "blocked clock operations aborted (abandoned protocol positions)")
+M_OPS = obs.REGISTRY.counter(
+    "cts_ops_total", "clock operations completed")
+M_COALESCED = obs.REGISTRY.counter(
+    "ccs_coalesced_ops_total",
+    "operations served by a round they did not initiate (round amortization)")
+M_BATCH = obs.REGISTRY.histogram(
+    "ccs_round_batch_size", "operations served per consumed CCS round",
+    unit="ops", buckets=(1, 2, 4, 8, 16, 32, 64, 128))
+M_FAST_HITS = obs.REGISTRY.counter(
+    "cts_fast_path_hits_total",
+    "reads served by the drift-bounded local fast path")
+M_FAST_FALLBACKS = obs.REGISTRY.counter(
+    "cts_fast_path_fallbacks_total",
+    "fast-path attempts that fell back to a full CCS round "
+    "(staleness or drift bound exceeded)")
 
 
 @dataclass
@@ -101,11 +122,26 @@ class CTSStats:
     duplicates_discarded: int = 0
     #: Offset adoptions performed while recovering (special rounds).
     recovery_adoptions: int = 0
+    #: Clock operations completed (>= rounds_completed under coalescing).
+    ops_completed: int = 0
+    #: Operations served by a round they did not initiate (amortization).
+    ops_coalesced: int = 0
+    #: Reads served by the drift-bounded local fast path.
+    fast_path_hits: int = 0
+    #: Fast-path attempts that fell back to a full round.
+    fast_path_fallbacks: int = 0
 
     @property
     def ccs_transmitted(self) -> int:
         """CCS messages that actually reached the wire."""
         return self.ccs_sent - self.ccs_suppressed
+
+    @property
+    def ccs_per_op(self) -> float:
+        """Transmitted CCS messages per completed clock operation."""
+        if not self.ops_completed:
+            return 0.0
+        return self.ccs_transmitted / self.ops_completed
 
 
 class ConsistentTimeService(TimeSource):
@@ -120,9 +156,18 @@ class ConsistentTimeService(TimeSource):
         mode: str = MODE_ACTIVE,
         drift: Optional[DriftCompensation] = None,
         suppress_pending: bool = True,
+        coalesce: bool = True,
+        fast_path: bool = False,
+        max_staleness_us: int = 2_000,
+        drift_bound: Optional[DriftBound] = None,
     ):
         if mode not in (MODE_ACTIVE, MODE_PRIMARY):
             raise TimeServiceError(f"unknown mode {mode!r}")
+        if fast_path and not coalesce:
+            raise TimeServiceError(
+                "the drift-bounded fast path requires coalesced rounds "
+                "(fast_path=True with coalesce=False)"
+            )
         self.replica = replica
         self.node = replica.node
         self.node_id = replica.node_id
@@ -130,6 +175,18 @@ class ConsistentTimeService(TimeSource):
         self.mode = mode
         self.drift = drift or NoCompensation()
         self.suppress_pending = suppress_pending
+        #: Round amortization: concurrent clock operations share rounds.
+        self.coalesce = coalesce
+        #: Serve bounded-staleness reads locally between rounds.
+        self.fast_path = fast_path
+        self.max_staleness_us = int(max_staleness_us)
+        self.drift_bound = drift_bound or DriftBound()
+        #: The replica runtime pipelines request execution (overlapping
+        #: clock reads) only when the time source can serve them.
+        self.supports_concurrent_reads = coalesce
+        #: Reads may carry a per-request session floor (``floor_us``):
+        #: the reply is served strictly above it on every replica.
+        self.supports_session_floor = True
 
         self.clock_state = GroupClockState()
         self.stats = CTSStats()
@@ -141,18 +198,47 @@ class ConsistentTimeService(TimeSource):
         self._accepted: Dict[str, int] = {}
         #: Round counters inherited via state transfer.
         self._initial_rounds: Dict[str, int] = {}
+        #: Operation-numbering points inherited via state transfer.
+        self._initial_ops: Dict[str, OpId] = {}
         self._recovering = False
+        #: Physical clock at the last committed round (fast-path anchor).
+        self._last_commit_physical_us: Optional[int] = None
         #: (thread_id, round, winner_node) per accepted round — the
         #: synchronizer history the Figure 6 analysis plots.
         self.winners: List[Tuple[str, int, str]] = []
         #: (sim_time, thread_id, call, ClockValue) values returned to the app.
         self.readings: List[Tuple[float, str, str, ClockValue]] = []
+        #: (thread_id, op_id) -> group value, for coalesced operations —
+        #: replica-independent by construction; the agreement invariant
+        #: the property suites check.
+        self.served_ops: Dict[Tuple[str, OpId], int] = {}
+        #: (sim_time, value_us, elapsed_us) per fast-path read — lets
+        #: tests check the staleness bound the fast path promises.
+        self.fast_served: List[Tuple[float, int, int]] = []
 
     # ------------------------------------------------------------------
     # TimeSource interface: one clock-related operation
     # ------------------------------------------------------------------
 
-    def read(self, thread_id: str, call_name: str = "gettimeofday") -> Event:
+    def read(
+        self,
+        thread_id: str,
+        call_name: str = "gettimeofday",
+        op_id: Optional[OpId] = None,
+        fast_ok: bool = True,
+        floor_us: Optional[int] = None,
+    ) -> Event:
+        if floor_us is not None:
+            # Session guarantee: the request carries the client's
+            # last-seen value, and since the request is totally ordered
+            # every replica raises its causal floor before proposing or
+            # fast-serving — whichever replica's reply the client takes,
+            # it exceeds the floor.
+            self.clock_state.observe_causal_timestamp(floor_us)
+        if self.coalesce:
+            return self._read_coalesced(
+                thread_id, call_name, op_id, fast_ok, floor_us
+            )
         call = resolve_call(call_name)
         handler = self._handler(thread_id)
         # Figure 2, lines 3-4: physical reading and local logical value.
@@ -215,10 +301,12 @@ class ConsistentTimeService(TimeSource):
             self.clock_state.offset_us
         )
         self.stats.rounds_completed += 1
+        self.stats.ops_completed += 1
         value = ClockValue(call.quantize(group_us))
         self.readings.append((self.sim.now, handler.my_thread_id, call.name, value))
         if obs.REGISTRY.enabled:
             M_ROUNDS.inc(node=self.node_id)
+            M_OPS.inc(node=self.node_id)
             M_ROUND_LATENCY.observe(
                 (self.sim.now - pending.started_at) * 1e6, node=self.node_id)
             M_OFFSET.set(self.clock_state.offset_us, node=self.node_id)
@@ -234,6 +322,263 @@ class ConsistentTimeService(TimeSource):
             pending.result.succeed(value)
 
     # ------------------------------------------------------------------
+    # Coalesced rounds (round amortization) and the read fast path
+    # ------------------------------------------------------------------
+
+    def _read_coalesced(
+        self,
+        thread_id: str,
+        call_name: str,
+        op_id: Optional[OpId],
+        fast_ok: bool = True,
+        floor_us: Optional[int] = None,
+    ) -> Event:
+        """One clock operation under round amortization.
+
+        The operation is identified by a replica-independent id; whatever
+        round *covers* that id — per the covering point carried by the
+        round's winning CCS message — serves it the round's group value,
+        so concurrent operations share rounds and still agree across
+        replicas.
+        """
+        call = resolve_call(call_name)
+        handler = self._handler(thread_id)
+        op_id = handler.assign_op_id(op_id)
+        self._drain_common(handler)
+        result = Event(self.sim)
+        result._cts_read = True
+
+        # Already covered by a consumed round (the op was issued late,
+        # e.g. by a recovered replica replaying the request stream).
+        entry = handler.lookup_consumed(op_id)
+        if entry is not None:
+            self.stats.rounds_from_buffer += 1
+            if obs.REGISTRY.enabled:
+                M_FROM_BUFFER.inc(node=self.node_id)
+            self._serve(
+                handler,
+                PendingOp(op_id, call, result, self.sim.now, floor_us),
+                entry.group_us,
+            )
+            return result
+
+        fast_us = self._try_fast_path(handler) if fast_ok else None
+        if fast_us is not None:
+            self.stats.fast_path_hits += 1
+            if obs.REGISTRY.enabled:
+                M_FAST_HITS.inc(node=self.node_id)
+            elapsed = self.node.read_clock_us() - self._last_commit_physical_us
+            self.fast_served.append((self.sim.now, fast_us, elapsed))
+            self._serve(
+                handler,
+                PendingOp(op_id, call, result, self.sim.now, floor_us),
+                fast_us,
+                fast=True,
+            )
+            return result
+
+        handler.park(PendingOp(op_id, call, result, self.sim.now, floor_us))
+        self._pump(handler, from_read=True)
+        return result
+
+    def _try_fast_path(self, handler: CCSHandler) -> Optional[int]:
+        """A drift-bounded local value, or None to run a full round.
+
+        Only quiescent handlers qualify (nothing parked, in flight or
+        buffered): an op admitted to the fast path while a round is
+        pending could be covered by that round's winner at another
+        replica, breaking agreement on which value serves it.
+        """
+        if not self.fast_path or self._recovering:
+            return None
+        if handler.parked or handler.in_flight is not None:
+            return None
+        if handler.my_input_buffer:
+            return None
+        if (
+            self.clock_state.last_group_us is None
+            or self._last_commit_physical_us is None
+        ):
+            return None
+        physical_us = self.node.read_clock_us()
+        elapsed = physical_us - self._last_commit_physical_us
+        if not (0 <= elapsed <= self.max_staleness_us) or not (
+            self.drift_bound.permits(elapsed)
+        ):
+            self.stats.fast_path_fallbacks += 1
+            if obs.REGISTRY.enabled:
+                M_FAST_FALLBACKS.inc(node=self.node_id)
+            return None
+        value = self.clock_state.clamp_to_floor(
+            self.drift.adjust_proposal(self.clock_state.propose(physical_us))
+        )
+        self.clock_state.note_fast_value(value)
+        return value
+
+    def _serve(
+        self,
+        handler: CCSHandler,
+        op: PendingOp,
+        group_us: int,
+        *,
+        fast: bool = False,
+    ) -> None:
+        """Hand one coalesced operation its group-clock value."""
+        value_us = group_us
+        if op.floor_us is not None and value_us <= op.floor_us:
+            # The request's session floor binds identically at every
+            # replica: a round committed before the floor was observed
+            # (a retained round covering a late op) must not hand the
+            # client a value it has already seen.
+            value_us = op.floor_us + 1
+        if not fast and self.fast_path:
+            # The fast path may have served values ahead of this round's
+            # agreed group value (commit anchors differ across replicas).
+            # The *committed* group clock stays the agreed value, but the
+            # reply handed to this replica's clients must not step
+            # backwards past a fast read it already served.
+            floor = self.clock_state.fast_floor_us
+            if floor is not None and value_us <= floor:
+                value_us = floor + 1
+            self.clock_state.note_fast_value(value_us)
+        value = ClockValue(op.call.quantize(value_us))
+        self.readings.append(
+            (self.sim.now, handler.my_thread_id, op.call.name, value)
+        )
+        if not fast:
+            self.served_ops[(handler.my_thread_id, op.op_id)] = group_us
+        self.stats.ops_completed += 1
+        if obs.REGISTRY.enabled:
+            M_OPS.inc(node=self.node_id)
+        if not op.result.triggered:
+            op.result.succeed(value)
+
+    def _pump(self, handler: CCSHandler, from_read: bool = False) -> None:
+        """Advance the handler: consume every buffered winning message,
+        then open a new round if operations remain unserved."""
+        while handler.parked and handler.my_input_buffer:
+            self._consume_round(handler, from_read)
+        if (
+            handler.parked
+            and handler.in_flight is None
+            and not handler.my_input_buffer
+        ):
+            self._open_round(handler)
+
+    def _consume_round(self, handler: CCSHandler, from_read: bool) -> None:
+        """Consume the next winning CCS message: commit the group value,
+        then serve every parked operation the message's covering point
+        binds to this round (Figure 2 lines 15-17, amortized)."""
+        msg = handler.pop_message()
+        if msg.round_number != handler.my_round_number + 1:
+            raise TimeServiceError(
+                f"thread {handler.my_thread_id!r}: buffered CCS round "
+                f"{msg.round_number} does not follow consumption point "
+                f"{handler.my_round_number}"
+            )
+        handler.my_round_number = msg.round_number
+        group_us = msg.proposed_micros
+        in_flight, handler.in_flight = handler.in_flight, None
+        if in_flight is not None and in_flight.round_number == msg.round_number:
+            physical_us = in_flight.physical_us
+            started_at = in_flight.started_at
+        else:
+            # We never proposed for this round (it was driven by another
+            # replica, or arrived while we were catching up): anchor the
+            # offset to a fresh physical reading.
+            physical_us = self.node.read_clock_us()
+            started_at = self.sim.now
+            handler.in_flight = in_flight
+            if trace.TRACER.enabled:
+                trace.emit(
+                    "round.start", self.node_id,
+                    thread=handler.my_thread_id, round=msg.round_number,
+                    proposal_us=None, call=None, buffered=True,
+                    t=started_at,
+                )
+        self.clock_state.commit(group_us, physical_us)
+        self.clock_state.offset_us = self.drift.adjust_offset(
+            self.clock_state.offset_us
+        )
+        self._last_commit_physical_us = self.node.read_clock_us()
+        self.stats.rounds_completed += 1
+        handler.rounds_completed += 1
+
+        covers = msg.covers
+        if covers is not None:
+            handler.retain_consumed(
+                ConsumedRound(msg.round_number, covers, group_us)
+            )
+            served = handler.take_covered(covers)
+        else:
+            # A legacy per-op message covers exactly one operation.
+            served = handler.take_oldest()
+
+        if obs.REGISTRY.enabled:
+            M_ROUNDS.inc(node=self.node_id)
+            M_OFFSET.set(self.clock_state.offset_us, node=self.node_id)
+            M_BATCH.observe(len(served), node=self.node_id)
+            for op in served:
+                M_ROUND_LATENCY.observe(
+                    (self.sim.now - op.started_at) * 1e6, node=self.node_id)
+        if len(served) > 1:
+            self.stats.ops_coalesced += len(served) - 1
+            if obs.REGISTRY.enabled:
+                M_COALESCED.inc(len(served) - 1, node=self.node_id)
+        if trace.TRACER.enabled:
+            trace.emit(
+                "round.complete", self.node_id,
+                thread=handler.my_thread_id, round=msg.round_number,
+                group_us=group_us, offset_us=self.clock_state.offset_us,
+                batch=len(served),
+                latency_us=(self.sim.now - started_at) * 1e6,
+                t=self.sim.now,
+            )
+        if from_read and served:
+            # The winner was buffered before the read arrived: no CCS
+            # message of ours was constructed (line 11 short-circuit).
+            self.stats.rounds_from_buffer += 1
+            if obs.REGISTRY.enabled:
+                M_FROM_BUFFER.inc(node=self.node_id)
+        for op in served:
+            self._serve(handler, op, group_us)
+
+    def _open_round(self, handler: CCSHandler) -> None:
+        """Start a coalesced round covering every currently parked
+        operation (Figure 2 lines 3-4 and 9, amortized)."""
+        round_number = handler.my_round_number + 1
+        covers = handler.parked[-1].op_id
+        physical_us = self.node.read_clock_us()
+        proposal_us = self.clock_state.clamp_to_floor(
+            self.drift.adjust_proposal(self.clock_state.propose(physical_us))
+        )
+        handler.in_flight = RoundInFlight(
+            round_number=round_number,
+            covers=covers,
+            proposal_us=proposal_us,
+            physical_us=physical_us,
+            call_type_id=handler.parked[0].call.type_id,
+            sent=False,
+            started_at=self.sim.now,
+        )
+        if trace.TRACER.enabled:
+            trace.emit(
+                "round.start", self.node_id, thread=handler.my_thread_id,
+                round=round_number, proposal_us=proposal_us,
+                covers=list(covers), batch=len(handler.parked),
+                buffered=False, t=self.sim.now,
+            )
+        if self._may_send():
+            self._send_ccs(handler)
+
+    def note_min_active_request(self, min_request_index: int) -> None:
+        """The replica runtime finished every request below this index:
+        retained consumed rounds below ``(min_request_index, 0)`` can no
+        longer be asked for and are pruned."""
+        for handler in self._handlers.values():
+            handler.prune_consumed(min_request_index)
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
 
@@ -247,6 +592,7 @@ class ConsistentTimeService(TimeSource):
     def _send_ccs(self, handler: CCSHandler) -> None:
         pending = handler.pending
         pending.sent = True
+        covers = getattr(pending, "covers", None) or (0, 0)
         self.stats.ccs_sent += 1
         if obs.REGISTRY.enabled:
             M_SENT.inc(node=self.node_id)
@@ -269,6 +615,8 @@ class ConsistentTimeService(TimeSource):
                     round_number=pending.round_number,
                     proposed_micros=pending.proposal_us,
                     call_type_id=pending.call_type_id,
+                    covers_req=covers[0],
+                    covers_seq=covers[1],
                 ),
             )
         )
@@ -323,6 +671,8 @@ class ConsistentTimeService(TimeSource):
         handler = self._handlers.get(thread_id)
         if handler is not None:
             handler.recv_CCS_msg(msg)
+            if self.coalesce:
+                self._pump(handler)
         else:
             self.my_common_input_buffer.append(msg)
 
@@ -382,9 +732,11 @@ class ConsistentTimeService(TimeSource):
 
     def _handler(self, thread_id: str) -> CCSHandler:
         if thread_id not in self._handlers:
-            self._handlers[thread_id] = CCSHandler(
+            handler = CCSHandler(
                 self.sim, thread_id, self._initial_rounds.get(thread_id, 0)
             )
+            handler.last_op_id = self._initial_ops.get(thread_id, (0, 0))
+            self._handlers[thread_id] = handler
         return self._handlers[thread_id]
 
     def _drain_common(self, handler: CCSHandler) -> None:
@@ -402,8 +754,16 @@ class ConsistentTimeService(TimeSource):
             m for m in self.my_common_input_buffer
             if m.thread_id != handler.my_thread_id
         ]
+        # Per-op mode: the current round was already numbered when the
+        # drain runs, so "not yet consumed" means round >= my_round_number.
+        # Coalesced mode: my_round_number IS the consumption point.
+        threshold = (
+            handler.my_round_number
+            if self.coalesce
+            else handler.my_round_number - 1
+        )
         for msg in matching:
-            if msg.round_number > handler.my_round_number - 1:
+            if msg.round_number > threshold:
                 handler.recv_CCS_msg(msg)
 
     # ------------------------------------------------------------------
@@ -450,6 +810,8 @@ class ConsistentTimeService(TimeSource):
         )
         for thread_id, handler in self._handlers.items():
             state.rounds[thread_id] = handler.my_round_number
+            if handler.last_op_id != (0, 0):
+                state.ops[thread_id] = handler.last_op_id
             if handler.my_input_buffer:
                 state.buffered[thread_id] = list(handler.my_input_buffer)
         for msg in self.my_common_input_buffer:
@@ -465,6 +827,14 @@ class ConsistentTimeService(TimeSource):
         if not isinstance(state, TimeTransferState):
             return
         self._initial_rounds = dict(state.rounds)
+        self._initial_ops = {
+            thread_id: (int(op[0]), int(op[1]))
+            for thread_id, op in state.ops.items()
+        }
+        for thread_id, op in self._initial_ops.items():
+            handler = self._handlers.get(thread_id)
+            if handler is not None and op > handler.last_op_id:
+                handler.last_op_id = op
         # Merge the transferred buffers with what we observed live while
         # recovering: transferred messages are authoritative up to their
         # horizon; our own observations extend beyond it.  A replica that
@@ -526,6 +896,13 @@ class ConsistentTimeService(TimeSource):
                     handler.my_round_number, round_number
                 )
                 handler.drop_through(round_number)
+        for thread_id, op in state.ops.items():
+            op = (int(op[0]), int(op[1]))
+            if op > self._initial_ops.get(thread_id, (0, 0)):
+                self._initial_ops[thread_id] = op
+            handler = self._handlers.get(thread_id)
+            if handler is not None and op > handler.last_op_id:
+                handler.last_op_id = op
         self.my_common_input_buffer = [
             m
             for m in self.my_common_input_buffer

@@ -142,7 +142,13 @@ class LiveCaller:
             if (header.msg_type is MsgType.REPLY
                     and header.conn_id == conn_id
                     and header.msg_seq_num == seq):
-                results[envelope.sender] = envelope.body
+                # First reply per replica wins.  A retry re-injects the
+                # same invocation, and replicas (which do not dedupe)
+                # execute it again: both executions are internally
+                # consistent, but mixing sender A's first-execution
+                # reply with sender B's second-execution reply would
+                # fake a disagreement.
+                results.setdefault(envelope.sender, envelope.body)
         return results
 
     def call_many(self, method: str, count: int, *args,

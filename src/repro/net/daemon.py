@@ -52,8 +52,8 @@ class TimeApp(Application):
     difference against a running group.
     """
 
-    def gettimeofday(self, ctx):
-        value = yield ctx.gettimeofday()
+    def gettimeofday(self, ctx, after_us=None):
+        value = yield ctx.gettimeofday(after_us=after_us)
         return {"sec": value.seconds, "usec": value.microseconds,
                 "micros": value.micros}
 
@@ -85,6 +85,12 @@ class DaemonConfig:
     group: str = "timesvc"
     style: str = "active"
     time_source: str = "cts"
+    #: Round amortization: concurrent clock operations share CCS rounds.
+    coalesce: bool = True
+    #: Serve drift-bounded reads locally between rounds (CTS only).
+    fast_path: bool = False
+    #: Staleness budget for the fast path, microseconds.
+    max_staleness_us: int = 2_000
     #: Injected wall-clock error (the live Figure-1 inconsistency).
     clock_epoch_us: int = 0
     clock_drift_ppm: float = 0.0
@@ -181,7 +187,9 @@ class NodeDaemon:
         # Same factory path as the testbeds, so daemon replicas and
         # testbed replicas are configured identically.
         factory = TestbedBase._time_source_factory(
-            config.time_source, config.style, None)
+            config.time_source, config.style, None,
+            coalesce=config.coalesce, fast_path=config.fast_path,
+            max_staleness_us=config.max_staleness_us)
         self.replica = STYLES[config.style](
             self.runtime, config.group, TimeApp(), factory,
             join_existing=config.join_existing,

@@ -58,7 +58,9 @@ from ..totem.messages import (
 #: Frame magic marker ("Consistent Time").
 MAGIC = b"CT"
 #: Bump on any incompatible change to the frame or payload layout.
-WIRE_VERSION = 1
+#: v2: CCS messages carry a covering operation id (round coalescing) and
+#: time-transfer state carries per-thread operation-numbering points.
+WIRE_VERSION = 2
 #: magic + version + length.
 HEADER_SIZE = 7
 

@@ -19,7 +19,7 @@ class ActiveReplica(Replica):
     style = "active"
 
     def _handle_request(self, envelope: Envelope, index: int) -> None:
-        self.request_queue.put((envelope, index))
+        self._enqueue_request(envelope, index)
 
     def _should_reply(self) -> bool:
         return True

@@ -102,23 +102,28 @@ def _encode_ccs(body: CCSMessage) -> bytes:
     return (
         _pack_str(body.thread_id)
         + struct.pack(
-            "<qqB?",
+            "<qqB?qq",
             body.round_number,
             body.proposed_micros,
             body.call_type_id,
             body.special,
+            body.covers_req,
+            body.covers_seq,
         )
     )
 
 
 def _decode_ccs(buffer: bytes, offset: int) -> Tuple[CCSMessage, int]:
     thread_id, offset = _unpack_str(buffer, offset)
-    round_number, micros, call_type_id, special = struct.unpack_from(
-        "<qqB?", buffer, offset
+    round_number, micros, call_type_id, special, covers_req, covers_seq = (
+        struct.unpack_from("<qqB?qq", buffer, offset)
     )
-    offset += struct.calcsize("<qqB?")
+    offset += struct.calcsize("<qqB?qq")
     return (
-        CCSMessage(thread_id, round_number, micros, call_type_id, special),
+        CCSMessage(
+            thread_id, round_number, micros, call_type_id, special,
+            covers_req, covers_seq,
+        ),
         offset,
     )
 
@@ -274,6 +279,11 @@ def _encode_time_state(body: TimeTransferState) -> bytes:
     for thread_id in sorted(body.accepted):
         parts.append(_pack_str(thread_id))
         parts.append(struct.pack("<q", body.accepted[thread_id]))
+    parts.append(struct.pack("<H", len(body.ops)))
+    for thread_id in sorted(body.ops):
+        op = body.ops[thread_id]
+        parts.append(_pack_str(thread_id))
+        parts.append(struct.pack("<qq", op[0], op[1]))
     parts.append(struct.pack("<H", len(body.buffered)))
     for thread_id in sorted(body.buffered):
         messages = body.buffered[thread_id]
@@ -299,6 +309,13 @@ def _decode_time_state(buffer: bytes, offset: int) -> Tuple[TimeTransferState, i
         thread_id, offset = _unpack_str(buffer, offset)
         (state.accepted[thread_id],) = struct.unpack_from("<q", buffer, offset)
         offset += 8
+    (count,) = struct.unpack_from("<H", buffer, offset)
+    offset += 2
+    for _ in range(count):
+        thread_id, offset = _unpack_str(buffer, offset)
+        covers_req, covers_seq = struct.unpack_from("<qq", buffer, offset)
+        state.ops[thread_id] = (covers_req, covers_seq)
+        offset += 16
     (count,) = struct.unpack_from("<H", buffer, offset)
     offset += 2
     for _ in range(count):

@@ -18,7 +18,7 @@ application".
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 from ..sim.clock import ClockValue
 from ..sim.kernel import Event, Timeout
@@ -35,11 +35,22 @@ OS_TICK_S = 0.010
 class ReplicaContext:
     """Per-thread facade over the node, scheduler and time source."""
 
-    def __init__(self, replica: "Replica", thread_id: str):
+    def __init__(
+        self,
+        replica: "Replica",
+        thread_id: str,
+        request_index: Optional[int] = None,
+    ):
         self.replica = replica
         self.thread_id = thread_id
         self.node = replica.node
         self.sim = replica.sim
+        #: Position of the request being executed in the total order, or
+        #: None for dedicated threads.  With a coalescing time source it
+        #: identifies each clock read replica-independently as
+        #: ``(request_index, read_seq)``.
+        self.request_index = request_index
+        self._read_seq = 0
 
     # -- CPU ------------------------------------------------------------
 
@@ -59,17 +70,44 @@ class ReplicaContext:
 
     # -- interposed clock-related system calls ---------------------------
 
-    def gettimeofday(self) -> Event:
-        """``gettimeofday()``: microsecond granularity."""
-        return self.replica.time_source.read(self.thread_id, "gettimeofday")
+    def gettimeofday(self, after_us: Optional[int] = None) -> Event:
+        """``gettimeofday()``: microsecond granularity.
+
+        ``after_us`` is an optional session floor — the caller's
+        last-seen time.  It travels with the (totally ordered) request,
+        so every replica serves a value strictly above it: a client that
+        echoes each reply into its next call reads monotonically even
+        across replica failover and drift-bounded fast-path reads, which
+        are otherwise only monotone per replica.
+        """
+        return self._read("gettimeofday", after_us)
 
     def time(self) -> Event:
         """``time()``: whole seconds."""
-        return self.replica.time_source.read(self.thread_id, "time")
+        return self._read("time")
 
     def ftime(self) -> Event:
         """``ftime()``: millisecond granularity."""
-        return self.replica.time_source.read(self.thread_id, "ftime")
+        return self._read("ftime")
+
+    def _read(self, call_name: str, after_us: Optional[int] = None) -> Event:
+        source = self.replica.time_source
+        kwargs = {}
+        if after_us is not None and getattr(
+            source, "supports_session_floor", False
+        ):
+            kwargs["floor_us"] = after_us
+        if self.request_index is not None and getattr(
+            source, "supports_concurrent_reads", False
+        ):
+            self._read_seq += 1
+            return source.read(
+                self.thread_id,
+                call_name,
+                op_id=(self.request_index, self._read_seq),
+                **kwargs,
+            )
+        return source.read(self.thread_id, call_name, **kwargs)
 
     # -- instrumentation only ---------------------------------------------
 

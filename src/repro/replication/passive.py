@@ -51,6 +51,12 @@ class PassiveReplica(Replica):
 
     style = "passive"
 
+    #: Passive primaries take periodic checkpoints *between* requests;
+    #: overlapping executions could capture a torn snapshot mid-request,
+    #: so the primary executes strictly serially.  (Reads still coalesce
+    #: when several arrive while one blocks elsewhere, e.g. at replay.)
+    supports_pipelining = False
+
     def __init__(
         self,
         runtime: GroupRuntime,
@@ -82,7 +88,7 @@ class PassiveReplica(Replica):
 
     def _handle_request(self, envelope: Envelope, index: int) -> None:
         if self.is_primary:
-            self.request_queue.put((envelope, index))
+            self._enqueue_request(envelope, index)
         else:
             self.request_log.append((index, envelope))
             self.stats.requests_logged += 1
@@ -184,7 +190,7 @@ class PassiveReplica(Replica):
             )
         self.request_log = []
         for index, envelope in backlog:
-            self.request_queue.put((envelope, index))
+            self._enqueue_request(envelope, index)
 
     # ------------------------------------------------------------------
     # State transfer integration

@@ -21,10 +21,12 @@ targets: active, passive (primary/backup) and semi-active.
 from __future__ import annotations
 
 import abc
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from ..errors import ReplicationError
+from ..sim.kernel import AnyOf, Event
 from ..sim.process import Store
 from .context import ReplicaContext
 from .envelope import Envelope, MsgType, make_envelope
@@ -68,6 +70,14 @@ class Replica(abc.ABC):
 
     style = "abstract"
 
+    #: Whether this style may overlap request executions across clock
+    #: reads (requires a time source with ``supports_concurrent_reads``).
+    #: Request *admission* stays in delivery order; only the blocking
+    #: portion of clock reads overlaps.  Styles whose correctness depends
+    #: on strictly serial execution (passive primaries take periodic
+    #: checkpoints between requests) turn this off.
+    supports_pipelining = True
+
     def __init__(
         self,
         runtime: GroupRuntime,
@@ -98,6 +108,15 @@ class Replica(abc.ABC):
         self.request_index = 0
         self.stats = ReplicaStats()
         self.main_thread_id: str = ""
+        # -- pipelined execution (coalesced time sources) ----------------
+        #: Request indexes admitted but not yet finished.
+        self._active_requests: set = set()
+        #: (generator, completed read event) continuations ready to resume.
+        self._resumable: deque = deque()
+        #: Count of admitted-but-unfinished request executions.
+        self._inflight = 0
+        #: Succeeds when a parked continuation becomes resumable.
+        self._work: Optional[Event] = None
         self._join_observed = False
         self._started = False
         # -- primary-component handling (paper Section 2) ----------------
@@ -227,6 +246,11 @@ class Replica(abc.ABC):
             self._handle_app_message(envelope)
 
     def _main_loop(self) -> Generator:
+        if self.supports_pipelining and getattr(
+            self.time_source, "supports_concurrent_reads", False
+        ):
+            yield from self._pipelined_loop()
+            return
         while True:
             item = yield self.request_queue.get()
             envelope, index = item if isinstance(item, tuple) else (item, None)
@@ -235,9 +259,148 @@ class Replica(abc.ABC):
             else:
                 yield from self._execute(envelope, index)
 
+    # ------------------------------------------------------------------
+    # Pipelined execution (round amortization)
+    # ------------------------------------------------------------------
+
+    def _pipelined_loop(self) -> Generator:
+        """Admit requests in delivery order but overlap the *blocking*
+        part of clock reads: an execution parked in a CCS round yields
+        the CPU so later requests reach their own reads and share the
+        round (round amortization at the time service).
+
+        Only the wait overlaps — CPU segments between reads still run
+        one at a time on this (single) main thread, and admission order
+        is the delivery order, so replicas stay deterministic as long as
+        application state mutations do not straddle a clock read (see
+        docs/performance.md).
+        """
+        self._work = Event(self.sim)
+        pending_get: Optional[Event] = None
+        while True:
+            # Resume continuations whose clock read completed.
+            while self._resumable:
+                gen, ev = self._resumable.popleft()
+                yield from self._drive(gen, resumed=ev)
+            if pending_get is None:
+                # A Store.get event is persistent: the claimed item waits
+                # in the event until we consume it, so keeping it across
+                # loop iterations loses nothing.
+                pending_get = self.request_queue.get()
+            if not pending_get.triggered:
+                if self._resumable:
+                    continue
+                if self._work.triggered:
+                    self._work = Event(self.sim)
+                yield AnyOf(self.sim, [pending_get, self._work])
+                continue
+            item = pending_get.value
+            pending_get = None
+            envelope, index = item if isinstance(item, tuple) else (item, None)
+            if envelope.header.msg_type is MsgType.GET_STATE:
+                # State is served at a quiescent point: every admitted
+                # execution must finish before the special round runs.
+                yield from self._quiesce()
+                yield from self.state_transfer.handle_get_state(envelope)
+            else:
+                self._inflight += 1
+                yield from self._drive(self._execute(envelope, index))
+
+    def _drive(self, gen: Generator, resumed: Optional[Event] = None) -> Generator:
+        """Step one request execution until it finishes or parks on an
+        unresolved clock read.  Non-read events (compute, sleeps) are
+        waited for inline — they hold the main thread, as real CPU work
+        would."""
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        if resumed is not None:
+            if resumed.ok:
+                send_value = resumed.value
+            else:
+                throw_exc = resumed.value
+        while True:
+            try:
+                if throw_exc is not None:
+                    exc, throw_exc = throw_exc, None
+                    ev = gen.throw(exc)
+                else:
+                    ev = gen.send(send_value)
+                    send_value = None
+            except StopIteration:
+                self._inflight -= 1
+                if self._work is not None and not self._work.triggered:
+                    self._work.succeed()
+                return
+            if getattr(ev, "_cts_read", False):
+                if not ev.triggered:
+                    ev._add_callback(
+                        lambda e, g=gen: self._read_done(g, e)
+                    )
+                    return
+                if ev.ok:
+                    send_value = ev.value
+                else:
+                    throw_exc = ev.value
+                continue
+            try:
+                send_value = yield ev
+            except BaseException as exc:
+                throw_exc = exc
+
+    def _read_done(self, gen: Generator, ev: Event) -> None:
+        """A parked execution's clock read completed: queue it for the
+        main loop and wake the loop if it is idle."""
+        self._resumable.append((gen, ev))
+        if self._work is not None and not self._work.triggered:
+            self._work.succeed()
+
+    def _quiesce(self) -> Generator:
+        """Run until no admitted execution remains in flight."""
+        while self._inflight or self._resumable:
+            while self._resumable:
+                gen, ev = self._resumable.popleft()
+                yield from self._drive(gen, resumed=ev)
+            if self._inflight:
+                if self._work.triggered:
+                    self._work = Event(self.sim)
+                yield self._work
+
+    def _enqueue_request(self, envelope: Envelope, index: int) -> None:
+        """Queue a delivered request for execution.
+
+        The index joins ``_active_requests`` *here*, not when execution
+        starts: a queued request has not issued its clock reads yet, so
+        the retained consumed round that covers them must survive until
+        it runs.  Were the index added only at execution start, a gap
+        between "every running request finished" and "the next queued
+        one begins" would let the prune floor jump past the queued
+        request and drop the round it needs — a replica that parked the
+        operation in time would then serve it a different round's value.
+        """
+        self._active_requests.add(index)
+        self.request_queue.put((envelope, index))
+
+    def _request_finished(self, index: Optional[int]) -> None:
+        """Bookkeeping after one request execution: tell the time source
+        the lowest request index still active, so it can prune retained
+        consumed rounds no future operation can reference."""
+        if index is None:
+            return
+        self._active_requests.discard(index)
+        note = getattr(self.time_source, "note_min_active_request", None)
+        if note is not None:
+            floor = (
+                min(self._active_requests)
+                if self._active_requests
+                else self.request_index + 1
+            )
+            note(floor)
+
     def _execute(self, envelope: Envelope, index: Optional[int]) -> Generator:
         invocation = envelope.body
-        ctx = ReplicaContext(self, self.main_thread_id)
+        if index is not None:
+            self._active_requests.add(index)
+        ctx = ReplicaContext(self, self.main_thread_id, request_index=index)
         method = getattr(self.app, invocation.method, None)
         if method is None:
             result = Result(error=f"NoSuchMethod: {invocation.method}")
@@ -263,6 +426,7 @@ class Replica(abc.ABC):
             )
             self.stats.replies_sent += 1
         self._after_execute(envelope, index)
+        self._request_finished(index)
 
     # ------------------------------------------------------------------
     # View plumbing

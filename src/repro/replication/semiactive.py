@@ -27,7 +27,7 @@ class SemiActiveReplica(Replica):
     def _handle_request(self, envelope: Envelope, index: int) -> None:
         # Everyone processes (unlike passive replication, backups stay
         # hot and need no replay on failover).
-        self.request_queue.put((envelope, index))
+        self._enqueue_request(envelope, index)
 
     def _should_reply(self) -> bool:
         # Only the primary talks to the outside world.

@@ -35,6 +35,13 @@ class TimeSource(abc.ABC):
     #: Human-readable name used in experiment reports.
     name = "abstract"
 
+    #: True when the source can serve overlapping reads on one thread
+    #: (the consistent time service with coalesced rounds).  The replica
+    #: runtime pipelines request execution only when this is set; sources
+    #: that support it accept an ``op_id`` keyword identifying each
+    #: operation replica-independently.
+    supports_concurrent_reads = False
+
     @abc.abstractmethod
     def read(self, thread_id: str, call_name: str = "gettimeofday") -> Event:
         """Begin one clock-related operation on behalf of ``thread_id``.

@@ -127,13 +127,18 @@ class TestbedBase:
         style: str = "active",
         time_source: TimeSourceSpec = "cts",
         drift: Optional[DriftCompensation] = None,
+        coalesce: bool = True,
+        fast_path: bool = False,
+        max_staleness_us: int = 2_000,
         **style_kwargs,
     ) -> Dict[str, Replica]:
         """Deploy one replicated service: one replica per listed node.
 
         ``time_source`` is ``"cts"`` (consistent time service), one of the
         baseline names (``"local"``, ``"primary-backup"``, ``"ntp"``), or
-        a factory ``Replica -> TimeSource``.
+        a factory ``Replica -> TimeSource``.  ``coalesce``, ``fast_path``
+        and ``max_staleness_us`` configure the CTS round amortization and
+        the drift-bounded read fast path (ignored for baselines).
         """
         if group in self.services:
             raise ConfigurationError(f"group {group!r} already deployed")
@@ -141,7 +146,11 @@ class TestbedBase:
             raise ConfigurationError(
                 f"unknown style {style!r}; choose from {sorted(STYLES)}"
             )
-        factory = self._time_source_factory(time_source, style, drift)
+        factory = self._time_source_factory(
+            time_source, style, drift,
+            coalesce=coalesce, fast_path=fast_path,
+            max_staleness_us=max_staleness_us,
+        )
         replica_cls = STYLES[style]
         replicas: Dict[str, Replica] = {}
         for node_id in nodes:
@@ -164,6 +173,9 @@ class TestbedBase:
         style: str = "active",
         time_source: TimeSourceSpec = "cts",
         drift: Optional[DriftCompensation] = None,
+        coalesce: bool = True,
+        fast_path: bool = False,
+        max_staleness_us: int = 2_000,
         **style_kwargs,
     ) -> Replica:
         """Add (or re-add, after a crash) one replica to a running group.
@@ -171,7 +183,11 @@ class TestbedBase:
         The new replica recovers via state transfer, including the
         special CCS round that integrates its clock (Section 3.2).
         """
-        factory = self._time_source_factory(time_source, style, drift)
+        factory = self._time_source_factory(
+            time_source, style, drift,
+            coalesce=coalesce, fast_path=fast_path,
+            max_staleness_us=max_staleness_us,
+        )
         replica = STYLES[style](
             self.runtimes[node_id], group, app_factory(), factory,
             join_existing=True, **style_kwargs,
@@ -192,13 +208,19 @@ class TestbedBase:
         spec: TimeSourceSpec,
         style: str,
         drift: Optional[DriftCompensation],
+        *,
+        coalesce: bool = True,
+        fast_path: bool = False,
+        max_staleness_us: int = 2_000,
     ) -> Callable[[Replica], TimeSource]:
         if callable(spec):
             return spec
         if spec == "cts":
             mode = MODE_ACTIVE if style == "active" else MODE_PRIMARY
             return lambda replica: ConsistentTimeService(
-                replica, mode=mode, drift=drift
+                replica, mode=mode, drift=drift,
+                coalesce=coalesce, fast_path=fast_path,
+                max_staleness_us=max_staleness_us,
             )
         if spec == "local":
             return LocalClockSource

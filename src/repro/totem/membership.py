@@ -88,6 +88,14 @@ class MembershipEngine:
         self.old_members: Tuple[str, ...] = ()
         #: (old_ring_id, seq) -> commit-token rotation when we first asked.
         self._rtr_requested: Dict[Tuple[RingId, int], int] = {}
+        #: Old-ring messages kept after *we* finished recovery, so we can
+        #: keep serving retransmissions to members that have not: a
+        #: processor recovers as soon as it delivered up to the ceiling,
+        #: but ``install_ring`` wipes its receive buffer — without this
+        #: snapshot, a slower member's outstanding request could go
+        #: unserved and tombstone a message others already delivered.
+        self._retired_ring_id: Optional[RingId] = None
+        self._retired_received: Dict[int, RegularMessage] = {}
         self._commit_last_token_seq = 0
         self._last_sent_commit: Optional[CommitToken] = None
         self._commit_retransmits = 0
@@ -311,6 +319,8 @@ class MembershipEngine:
         for entry in token.rtr:
             entry_ring, seq = entry
             msg = p.received.get(seq) if entry_ring == old_ring else None
+            if msg is None and entry_ring == self._retired_ring_id:
+                msg = self._retired_received.get(seq)
             if msg is not None and not isinstance(msg.payload, LostMessage):
                 p.multicast_raw(
                     RegularMessage(
@@ -405,6 +415,10 @@ class MembershipEngine:
             departed=tuple(sorted(old_members - new_members)),
             is_primary=self._is_primary(new_members),
         )
+        # Snapshot the old ring's messages before install_ring wipes
+        # them: members still recovering may yet request retransmission.
+        self._retired_ring_id = p.ring.ring_id if p.ring is not None else None
+        self._retired_received = dict(p.received)
         p.install_ring(token.ring_id, token.members)
         self.old_members = token.members
         self.phase = self.IDLE

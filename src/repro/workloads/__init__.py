@@ -13,6 +13,13 @@ from .latency import (
     TimeServerApp,
     run_latency_workload,
 )
+from .loadgen import (
+    LoadgenResult,
+    percentile,
+    record_benchmark,
+    run_loadgen,
+    run_loadgen_comparison,
+)
 from .recovery import RecoveryClockApp, RecoveryResult, run_recovery_workload
 from .throughput import (
     ThroughputApp,
@@ -33,6 +40,7 @@ __all__ = [
     "FailoverResult",
     "ITERATION_CHOICES",
     "LatencyRunResult",
+    "LoadgenResult",
     "PAPER_CPU_PROFILE",
     "RecoveryClockApp",
     "RecoveryResult",
@@ -44,7 +52,11 @@ __all__ = [
     "TimeServerApp",
     "failover_comparison",
     "run_failover_workload",
+    "percentile",
+    "record_benchmark",
     "run_latency_workload",
+    "run_loadgen",
+    "run_loadgen_comparison",
     "run_recovery_workload",
     "run_skew_drift_workload",
     "run_throughput_point",

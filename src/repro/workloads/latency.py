@@ -54,6 +54,10 @@ class LatencyRunResult:
     ccs_transmitted: Dict[str, int] = field(default_factory=dict)
     #: Rounds decided by the time service (0 for baselines).
     rounds: int = 0
+    #: Clock operations completed per replica (0 for baselines).
+    ops_completed: int = 0
+    #: Operations that shared a coalesced round, per replica.
+    ops_coalesced: int = 0
 
     @property
     def mean_us(self) -> float:
@@ -68,6 +72,7 @@ def run_latency_workload(
     server_nodes: tuple = ("n1", "n2", "n3"),
     client_node: str = "n0",
     cpu_profile: dict = None,
+    coalesce: bool = True,
 ) -> LatencyRunResult:
     """Run the Figure 5 measurement once.
 
@@ -84,7 +89,7 @@ def run_latency_workload(
     )
     bed.deploy(
         "timesvc", TimeServerApp, list(server_nodes),
-        style="active", time_source=time_source,
+        style="active", time_source=time_source, coalesce=coalesce,
     )
     client = bed.client(client_node)
     bed.start()
@@ -110,4 +115,8 @@ def run_latency_workload(
         if stats is not None and hasattr(stats, "ccs_transmitted"):
             run.ccs_transmitted[node_id] = stats.ccs_transmitted
             run.rounds = max(run.rounds, len(replica.time_source.winners))
+            run.ops_completed = max(run.ops_completed,
+                                    getattr(stats, "ops_completed", 0))
+            run.ops_coalesced = max(run.ops_coalesced,
+                                    getattr(stats, "ops_coalesced", 0))
     return run

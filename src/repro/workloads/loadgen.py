@@ -1,0 +1,237 @@
+"""Closed-loop load generator: concurrent clients against the CTS.
+
+Where :mod:`repro.workloads.throughput` drives an *open-loop* arrival
+process at a fixed offered rate, this generator runs ``concurrency``
+closed-loop workers: each issues one call, waits for the reply, and
+immediately issues the next until the deadline.  Closed-loop load is the
+natural probe for round coalescing — the number of in-flight operations
+is pinned at the worker count, so the measured CCS-messages-per-op
+directly shows how many operations each round amortizes.
+
+The generator runs against any :class:`~repro.testbed.TestbedBase`-style
+deployment; by default it builds the standard simulated four-node bed
+(client on n0, three-way active service on n1-n3) with the minimal
+clock-reading servant.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..sim import ClusterConfig
+from ..testbed import Testbed
+from .throughput import ThroughputApp
+
+
+def percentile(values: List[int], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (``fraction`` in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return float(ordered[rank])
+
+
+@dataclass
+class LoadgenResult:
+    """One closed-loop measurement with service-side counters."""
+
+    mode: str
+    concurrency: int
+    duration_s: float
+    completed: int = 0
+    errors: int = 0
+    #: Client-observed end-to-end latencies, microseconds.
+    latencies_us: List[int] = field(default_factory=list)
+    #: Service-side counters, summed over the replicas.
+    ops_completed: int = 0
+    ops_coalesced: int = 0
+    fast_path_hits: int = 0
+    fast_path_fallbacks: int = 0
+    ccs_transmitted: int = 0
+    rounds_completed: int = 0
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return percentile(self.latencies_us, 0.50)
+
+    @property
+    def p99_us(self) -> float:
+        return percentile(self.latencies_us, 0.99)
+
+    @property
+    def ccs_per_op(self) -> float:
+        """Total CCS messages on the wire per completed client call.
+
+        Exactly one CCS message is transmitted per round group-wide
+        (duplicate suppression), so this is rounds / ops: ~1.0 in
+        per-operation mode, well below 1.0 when rounds coalesce.
+        """
+        return self.ccs_transmitted / self.completed if self.completed else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "concurrency": self.concurrency,
+            "duration_s": self.duration_s,
+            "completed": self.completed,
+            "errors": self.errors,
+            "ops_per_s": round(self.ops_per_s, 1),
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "ccs_per_op": round(self.ccs_per_op, 4),
+            "ccs_transmitted": self.ccs_transmitted,
+            "rounds_completed": self.rounds_completed,
+            "ops_completed": self.ops_completed,
+            "ops_coalesced": self.ops_coalesced,
+            "fast_path_hits": self.fast_path_hits,
+            "fast_path_fallbacks": self.fast_path_fallbacks,
+        }
+
+
+def _mode_label(time_source: str, coalesce: bool, fast_path: bool) -> str:
+    if time_source != "cts":
+        return time_source
+    if fast_path:
+        return "coalesced+fast-path"
+    return "coalesced" if coalesce else "per-op-rounds"
+
+
+def run_loadgen(
+    *,
+    concurrency: int = 16,
+    duration_s: float = 0.3,
+    time_source: str = "cts",
+    coalesce: bool = True,
+    fast_path: bool = False,
+    max_staleness_us: int = 2_000,
+    seed: int = 0,
+    bed: Optional[Testbed] = None,
+    group: str = "svc",
+    method: str = "get_time",
+    client_node: str = "n0",
+    server_nodes=("n1", "n2", "n3"),
+) -> LoadgenResult:
+    """Run ``concurrency`` closed-loop workers for ``duration_s``.
+
+    Pass a pre-built ``bed`` with ``group`` already deployed to measure a
+    custom deployment; otherwise the standard simulated bed is built from
+    the remaining keyword arguments.
+    """
+    if bed is None:
+        bed = Testbed(seed=seed, cluster_config=ClusterConfig(num_nodes=4))
+        bed.deploy(
+            group, ThroughputApp, list(server_nodes),
+            time_source=time_source, coalesce=coalesce, fast_path=fast_path,
+            max_staleness_us=max_staleness_us,
+        )
+    client = bed.client(client_node)
+    bed.start()
+
+    result = LoadgenResult(
+        mode=_mode_label(time_source, coalesce, fast_path),
+        concurrency=concurrency,
+        duration_s=duration_s,
+    )
+    deadline = bed.sim.now + duration_s
+
+    def worker():
+        while bed.sim.now < deadline:
+            start_us = client.node.read_clock_us()
+            reply = yield client.call(group, method, timeout=duration_s + 2.0)
+            if reply.ok:
+                result.completed += 1
+                result.latencies_us.append(
+                    client.node.read_clock_us() - start_us)
+            else:
+                result.errors += 1
+        return None
+
+    workers = [
+        bed.sim.process(worker(), name=f"loadgen-{i}")
+        for i in range(concurrency)
+    ]
+    bed.run(duration_s + 2.5)  # run past the deadline to drain
+    for proc in workers:
+        if proc.triggered and not proc.ok:
+            proc._fail_silently = True
+            raise proc.value
+
+    for replica in bed.replicas(group).values():
+        stats = getattr(replica.time_source, "stats", None)
+        if stats is None:
+            continue
+        result.ops_completed += getattr(stats, "ops_completed", 0)
+        result.ops_coalesced += getattr(stats, "ops_coalesced", 0)
+        result.fast_path_hits += getattr(stats, "fast_path_hits", 0)
+        result.fast_path_fallbacks += getattr(stats, "fast_path_fallbacks", 0)
+        result.ccs_transmitted += getattr(stats, "ccs_transmitted", 0)
+        result.rounds_completed += getattr(stats, "rounds_completed", 0)
+    # rounds_completed counts once per replica; report the group view.
+    replica_count = len(bed.replicas(group)) or 1
+    result.rounds_completed //= replica_count
+    return result
+
+
+def run_loadgen_comparison(
+    *,
+    concurrency: int = 16,
+    duration_s: float = 0.3,
+    seed: int = 0,
+    fast_path: bool = False,
+    max_staleness_us: int = 2_000,
+) -> Dict[str, LoadgenResult]:
+    """The benchmark pair: per-op rounds vs coalesced (optionally with
+    the fast path), identical load otherwise."""
+    per_op = run_loadgen(
+        concurrency=concurrency, duration_s=duration_s, seed=seed,
+        coalesce=False,
+    )
+    coalesced = run_loadgen(
+        concurrency=concurrency, duration_s=duration_s, seed=seed,
+        coalesce=True, fast_path=fast_path,
+        max_staleness_us=max_staleness_us,
+    )
+    return {per_op.mode: per_op, coalesced.mode: coalesced}
+
+
+def record_benchmark(path, results: Dict[str, LoadgenResult]) -> Dict:
+    """Append one comparison to the persisted benchmark trajectory.
+
+    ``path`` holds a JSON document ``{"benchmark": ..., "runs": [...]}``;
+    each call appends one run (per-mode numbers plus the coalesced-mode
+    speedup over per-op rounds), so the file accumulates a trajectory of
+    the service's throughput across changes.  A missing or malformed
+    file is replaced with a fresh document.
+    """
+    path = Path(path)
+    doc: Dict = {"benchmark": "loadgen-throughput", "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict) and isinstance(
+                    existing.get("runs"), list):
+                doc = existing
+        except ValueError:
+            pass
+    run: Dict = {
+        "recorded_at": datetime.date.today().isoformat(),
+        "modes": {mode: r.to_dict() for mode, r in sorted(results.items())},
+    }
+    per_op = results.get("per-op-rounds")
+    coalesced = (results.get("coalesced+fast-path")
+                 or results.get("coalesced"))
+    if per_op is not None and coalesced is not None and per_op.ops_per_s:
+        run["speedup_vs_per_op"] = round(
+            coalesced.ops_per_s / per_op.ops_per_s, 2)
+    doc["runs"].append(run)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

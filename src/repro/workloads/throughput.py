@@ -1,12 +1,15 @@
 """EXT-THROUGHPUT workload: sustainable invocation rate.
 
-Every clock-related operation costs one CCS round, and rounds on the
-same logical thread are serialized (the paper: "a thread cannot start a
-new round ... before the current round completes").  The service's
-request throughput is therefore bounded by the round time — roughly one
-token rotation — independent of CPU speed.  This workload drives an
-open-loop client at a fixed offered rate and measures completions and
-latency, with and without the consistent time service.
+In per-operation mode every clock-related operation costs one CCS round,
+and rounds on the same logical thread are serialized (the paper: "a
+thread cannot start a new round ... before the current round
+completes").  The service's request throughput is then bounded by the
+round time — roughly one token rotation — independent of CPU speed.
+With coalesced rounds (``coalesce=True``, the default) concurrent
+operations share rounds, so throughput scales with concurrency instead.
+This workload drives an open-loop client at a fixed offered rate and
+measures completions and latency, with and without the consistent time
+service, in either mode.
 """
 
 from __future__ import annotations
@@ -57,11 +60,14 @@ def run_throughput_point(
     offered_per_s: float = 1_000.0,
     duration_s: float = 0.5,
     seed: int = 0,
+    coalesce: bool = True,
+    fast_path: bool = False,
 ) -> ThroughputPoint:
     """Drive an open-loop client at ``offered_per_s`` for ``duration_s``."""
     bed = Testbed(seed=seed, cluster_config=ClusterConfig(num_nodes=4))
     bed.deploy("svc", ThroughputApp, ["n1", "n2", "n3"],
-               time_source=time_source)
+               time_source=time_source, coalesce=coalesce,
+               fast_path=fast_path)
     client = bed.client("n0")
     bed.start()
 
@@ -104,6 +110,8 @@ def run_throughput_sweep(
     time_source: str = "cts",
     duration_s: float = 0.5,
     seed: int = 0,
+    coalesce: bool = True,
+    fast_path: bool = False,
 ) -> Dict[float, ThroughputPoint]:
     """Measure a set of offered rates."""
     return {
@@ -112,6 +120,8 @@ def run_throughput_sweep(
             offered_per_s=rate,
             duration_s=duration_s,
             seed=seed,
+            coalesce=coalesce,
+            fast_path=fast_path,
         )
         for rate in rates
     }

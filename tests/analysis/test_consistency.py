@@ -1,9 +1,6 @@
 """Tests for the client-history consistency checker — unit level plus a
 full-system audit of real histories (CTS clean, baseline dirty)."""
 
-import sys
-from pathlib import Path
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -16,8 +13,7 @@ from repro.analysis import (
 )
 from repro.errors import RpcTimeout
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, make_testbed  # noqa: E402
+from support import ClockApp, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestCheckerUnit:

@@ -1,13 +1,9 @@
 """Baseline tests: NTP-style discipline reduces skew but cannot make
 replica clock reads consistent (paper Section 1)."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestNtpDaemon:

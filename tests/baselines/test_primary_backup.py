@@ -1,12 +1,8 @@
 """Baseline tests: primary/backup clock reading ([9], [3])."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 def deploy_pb(seed, style="semi-active", epoch_spread_s=30.0):

@@ -6,15 +6,11 @@ must clamp the adjusted proposal so the group clock still strictly
 increases.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro.core import GroupClockState, ReferenceSteering
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestClampUnit:

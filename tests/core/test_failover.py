@@ -5,13 +5,9 @@ can roll the clock back or jump it forward; the consistent time service
 keeps it strictly monotone and consistent in the same scenarios.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 def passive_bed(seed, time_source, epoch_spread_s=30.0):

@@ -10,13 +10,9 @@ then crash the primary before it ever reaches the operation.  The
 promoted backup must notice the blocked round and send its own proposal.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 def deploy_slow_primary(seed, style="semi-active"):

@@ -1,16 +1,12 @@
 """Multigroup causal group clocks (paper Section 5 extension)."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro import Application
 from repro.core import GroupClockStamp, observe_incoming, stamp_outgoing
 from repro.errors import TimeServiceError
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import call_n, make_testbed  # noqa: E402
+from support import call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class StampedApp(Application):

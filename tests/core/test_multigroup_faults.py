@@ -1,16 +1,12 @@
 """Multigroup causal stamps under faults: floors survive failover and
 travel with state transfer."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro import Application
 from repro.core import GroupClockStamp, observe_incoming, stamp_outgoing
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import make_testbed  # noqa: E402
+from support import make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class HopApp(Application):

@@ -9,15 +9,11 @@ suspends; after the partition heals it rejoins via state transfer if
 other members kept processing.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro.errors import RpcTimeout
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, CounterApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, CounterApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 def partitioned_bed(seed, app=CounterApp, time_source="local"):

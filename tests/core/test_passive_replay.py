@@ -7,15 +7,11 @@ reproduces the exact clock values the old primary used — state derived
 from clock readings is bit-identical across the failover.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro import Application
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import make_testbed  # noqa: E402
+from support import make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class StampLog(Application):

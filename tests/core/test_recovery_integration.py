@@ -1,13 +1,9 @@
 """Integration of new clocks (paper Section 3.2): joining/recovering
 replicas adopt the group clock through the special CCS round."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestNewReplicaIntegration:

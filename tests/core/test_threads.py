@@ -6,15 +6,11 @@ with early arrivals for not-yet-created threads parked in the common
 input buffer.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro import Application
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import call_n, make_testbed  # noqa: E402
+from support import call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TimerApp(Application):

@@ -2,13 +2,9 @@
 central guarantees: agreement, monotonicity, duplicate suppression,
 offset identity, synchronizer rotation."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 def deploy_cts(seed, nodes=("n1", "n2", "n3"), style="active", **kwargs):

@@ -1,8 +1,5 @@
 """Unit-level tests for ConsistentTimeService internals and edge cases."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro.core import (
@@ -12,8 +9,7 @@ from repro.core import (
 )
 from repro.errors import TimeServiceError
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 def build_service(seed=200, mode="active", **kwargs):

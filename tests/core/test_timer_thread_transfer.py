@@ -2,15 +2,11 @@
 must align its CCS rounds with the group's, via the transferred
 per-thread round counters."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro import Application
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import call_n, make_testbed  # noqa: E402
+from support import call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TimerCounterApp(Application):

@@ -5,16 +5,12 @@ across replicas and monotonically increasing, including across a forced
 kill of the ring leader.  Kept under ~10 s of wall time.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro.net.testbed import LiveTestbed
 from repro.net.timing import live_totem_config
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n  # noqa: E402
+from support import ClockApp, call_n  # noqa: E402 (tests/ on sys.path via conftest)
 
 pytestmark = pytest.mark.live
 

@@ -6,16 +6,12 @@ code — it is executed against both :class:`repro.Testbed` (simulated)
 and :class:`repro.net.testbed.LiveTestbed` (UDP loopback, real time).
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro import Testbed
 from repro.net.testbed import LiveTestbed
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp  # noqa: E402
+from support import ClockApp  # noqa: E402 (tests/ on sys.path via conftest)
 
 pytestmark = pytest.mark.live
 

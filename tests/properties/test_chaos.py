@@ -7,9 +7,6 @@ makes unconditionally: the group clock never rolls back, and replicas
 that answer, answer identically.
 """
 
-import sys
-from pathlib import Path
-
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -17,8 +14,7 @@ from hypothesis import strategies as st
 from repro.errors import RpcTimeout
 from repro.sim import FaultPlan
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, make_testbed  # noqa: E402
+from support import ClockApp, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 CHAOS_SETTINGS = dict(
     max_examples=10,

@@ -6,14 +6,10 @@ monotonicity, total order — under random clock epochs, drift, message
 loss and crash timing.
 """
 
-import sys
-from pathlib import Path
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 from totem.helpers import TotemHarness  # noqa: E402
 
 SIM_SETTINGS = dict(

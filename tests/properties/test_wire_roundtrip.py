@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import CCSMessage
+from repro.core.recovery import TimeTransferState
 from repro.net.wire import (
     FrameError,
     HEADER_SIZE,
@@ -61,12 +62,40 @@ envelopes = st.one_of(
         identifiers, seqs, identifiers, json_scalars,
     ),
     st.builds(
-        lambda grp, seq, sender, thread, rnd, micros: make_envelope(
+        lambda grp, seq, sender, thread, rnd, micros, special, covers:
+        make_envelope(
             MsgType.CCS, grp, grp, 0, seq, sender,
-            body=CCSMessage(thread, rnd, micros, 1),
+            body=CCSMessage(thread, rnd, micros, 1, special=special,
+                            covers_req=covers[0], covers_seq=covers[1]),
         ),
         identifiers, seqs, identifiers, identifiers, seqs,
         st.integers(min_value=0, max_value=2**60),
+        st.booleans(),
+        # (0, 0) is the legacy "no covering point" encoding.
+        st.one_of(st.just((0, 0)),
+                  st.tuples(st.integers(min_value=1, max_value=2**40),
+                            st.integers(min_value=1, max_value=2**20))),
+    ),
+    st.builds(
+        lambda grp, seq, sender, state: make_envelope(
+            MsgType.GET_STATE, grp, grp, 0, seq, sender, body=state,
+        ),
+        identifiers, seqs, identifiers,
+        st.builds(
+            TimeTransferState,
+            rounds=st.dictionaries(identifiers, seqs, max_size=3),
+            accepted=st.dictionaries(identifiers, seqs, max_size=3),
+            ops=st.dictionaries(
+                identifiers,
+                st.tuples(st.integers(min_value=0, max_value=2**40),
+                          st.integers(min_value=0, max_value=2**20)),
+                max_size=3,
+            ),
+            last_group_us=st.one_of(
+                st.none(), st.integers(min_value=0, max_value=2**60)),
+            causal_floor_us=st.one_of(
+                st.none(), st.integers(min_value=0, max_value=2**60)),
+        ),
     ),
 )
 

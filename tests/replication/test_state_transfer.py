@@ -1,12 +1,8 @@
 """Tests for state transfer to joining and recovering replicas."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import CounterApp, call_n, make_testbed  # noqa: E402
+from support import CounterApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestJoin:

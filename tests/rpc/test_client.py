@@ -1,15 +1,11 @@
 """Tests for the RPC client: calls, replies, dedup, timeouts."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro.errors import RpcTimeout
 from repro.rpc import Invocation, Result, unwrap
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import CounterApp, call_n, make_testbed  # noqa: E402
+from support import CounterApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestMessages:

@@ -1,14 +1,10 @@
 """RPC error-path tests: bad arguments, dead groups, suspended groups."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro.errors import RpcTimeout
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import CounterApp, call_n, make_testbed  # noqa: E402
+from support import CounterApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestArgumentErrors:

@@ -1,15 +1,11 @@
 """Tests for declarative fault injection."""
 
-import sys
-from pathlib import Path
-
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim import FaultPlan
 
-sys.path.insert(0, str(Path(__file__).parent.parent))
-from support import ClockApp, call_n, make_testbed  # noqa: E402
+from support import ClockApp, call_n, make_testbed  # noqa: E402 (tests/ on sys.path via conftest)
 
 
 class TestFaultPlanConstruction:

@@ -22,6 +22,13 @@ class ClockApp(Application):
         value = yield ctx.gettimeofday()
         return value.micros
 
+    def get_time_after(self, ctx, after_us):
+        """Session-monotone read: the client echoes its last-seen value
+        and the service replies strictly above it (on every replica)."""
+        yield ctx.compute(self.work_s)
+        value = yield ctx.gettimeofday(after_us=after_us)
+        return value.micros
+
     def get_time_coarse(self, ctx):
         value = yield ctx.time()
         return value.micros

@@ -58,10 +58,6 @@ class TestChurnSafety:
     def test_cts_stays_consistent_under_churn(self):
         """End-to-end: the group clock's guarantees hold even while the
         ring churns under a hair-trigger failure detector."""
-        import sys
-        from pathlib import Path
-
-        sys.path.insert(0, str(Path(__file__).parent.parent))
         from support import ClockApp, call_n, make_testbed
 
         bed = make_testbed(seed=23, totem_config=aggressive_config())

@@ -117,6 +117,24 @@ class TestThroughputWorkload:
         assert not point.saturated
 
     def test_cts_latency_grows_past_capacity(self):
+        # Per-operation rounds (no coalescing): the round time caps the
+        # sustainable rate, so pushing past it inflates latency.
+        from repro.workloads import run_throughput_point
+
+        calm = run_throughput_point(
+            time_source="cts", offered_per_s=1_000, duration_s=0.1, seed=3,
+            coalesce=False,
+        )
+        stormy = run_throughput_point(
+            time_source="cts", offered_per_s=25_000, duration_s=0.1, seed=3,
+            coalesce=False,
+        )
+        assert stormy.mean_latency_us > 5 * calm.mean_latency_us
+
+    def test_coalescing_absorbs_the_same_storm(self):
+        # Round amortization: the same offered rate that saturates the
+        # per-op service is absorbed when concurrent operations share
+        # rounds.
         from repro.workloads import run_throughput_point
 
         calm = run_throughput_point(
@@ -125,7 +143,8 @@ class TestThroughputWorkload:
         stormy = run_throughput_point(
             time_source="cts", offered_per_s=25_000, duration_s=0.1, seed=3
         )
-        assert stormy.mean_latency_us > 5 * calm.mean_latency_us
+        assert not stormy.saturated
+        assert stormy.mean_latency_us < 5 * calm.mean_latency_us
 
     def test_sweep_returns_all_rates(self):
         from repro.workloads import run_throughput_sweep
