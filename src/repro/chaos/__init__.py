@@ -1,0 +1,37 @@
+"""Chaos engineering for the live runtime.
+
+The paper's claim is that the group clock stays consistent and monotone
+*across replica failures and recoveries*.  This package makes that claim
+testable against real sockets, reproducibly:
+
+* :mod:`repro.chaos.transport` — :class:`ChaosTransport`, a decorator
+  over the :class:`repro.net.transport.Transport` contract that injects
+  deterministic, seeded packet loss, delay, jitter, duplication,
+  reordering and directional partitions per peer pair;
+* :mod:`repro.chaos.scenario` — the scenario-file DSL (a small YAML
+  subset, JSON also accepted) compiled into the
+  :class:`repro.sim.faults.FaultPlan` event schedule, plus the
+  byte-identical schedule hash that pins reproducibility;
+* :mod:`repro.chaos.oracle` — the always-on invariant oracle that tails
+  replies and telemetry during a run and checks the paper's guarantees
+  online (per-client monotonicity, cross-replica agreement per round,
+  bounded staleness, offset re-derivation after failover);
+* :mod:`repro.chaos.runner` — the ``python -m repro chaos`` harness: a
+  live cluster on loopback UDP under a scenario, gateway clients
+  hammering it, the oracle watching, a JSON verdict out.
+"""
+
+from .oracle import InvariantOracle, Violation
+from .scenario import ChaosScenario, compile_plan, load_scenario
+from .transport import ChaosTransport
+from .runner import run_chaos
+
+__all__ = [
+    "ChaosScenario",
+    "ChaosTransport",
+    "InvariantOracle",
+    "Violation",
+    "compile_plan",
+    "load_scenario",
+    "run_chaos",
+]

@@ -1,0 +1,213 @@
+"""The invariant oracle: online checking of the paper's guarantees.
+
+During a chaos run the oracle watches two streams — client-visible
+replies (fed by the workload) and the ``round.complete`` telemetry
+(subscribed from :mod:`repro.trace`) — and checks, *while faults are
+being injected*:
+
+* **Per-client monotonicity** — every client's observed group-clock
+  values are strictly increasing, across retries, replica crashes and
+  failovers (the paper's Property 1, extended to the session floor).
+* **Cross-replica agreement per round** — all replicas that complete a
+  CCS round ``(thread, round)`` commit the identical group value
+  (Property 2: the round's winner is totally ordered, so every replica
+  derives the same group clock).
+* **Bounded staleness** — successive values a client sees advance at
+  wall-clock rate, within a slack of the configured staleness budget,
+  the two calls' own latencies, and a drift allowance; the fast path
+  must never serve a value staler than ``max_staleness_us``.
+* **Offset re-derivation** — after the run, every live replica's commit
+  history satisfies the paper's defining identity
+  ``offset = group − physical`` exactly, and every replica that was
+  recovered mid-run completed at least one round afterwards (its clock
+  offset was re-derived from the special integration round rather than
+  inherited stale).
+
+Violations carry the offending transcript; the oracle never raises
+mid-run, so one broken invariant cannot mask later ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import trace
+
+
+@dataclass
+class Violation:
+    """One broken invariant, with enough transcript to debug it."""
+
+    check: str          # monotonicity|agreement|staleness|offset|recovery
+    subject: str        # client id or node id
+    detail: str
+    transcript: List[Any] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "check": self.check,
+            "subject": self.subject,
+            "detail": self.detail,
+            "transcript": [repr(entry) for entry in self.transcript[-16:]],
+        }
+
+
+class InvariantOracle:
+    """Tails replies and telemetry during a chaos run; judges at the end.
+
+    Wire-up::
+
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.attach()                       # subscribes to trace
+        ...
+        oracle.observe_reply("c0", value_us, wall_s=t, rtt_s=dt)
+        oracle.note_recovery("n2")
+        ...
+        oracle.finish(bed, group="timesvc")   # post-run history checks
+        assert oracle.ok, oracle.violations
+    """
+
+    def __init__(self, *, staleness_budget_us: int = 2_000,
+                 drift_ppm: float = 200.0):
+        self.staleness_budget_us = staleness_budget_us
+        self.drift_ppm = drift_ppm
+        self.violations: List[Violation] = []
+        #: client -> (last value_us, last wall_s, last rtt_s)
+        self._last: Dict[str, Tuple[int, float, float]] = {}
+        #: client -> rolling reply transcript (value, wall, rtt)
+        self._replies: Dict[str, List[Tuple[int, float, float]]] = {}
+        self.replies_checked = 0
+        #: (thread, round) -> (group_us, first node to commit it)
+        self._rounds: Dict[Tuple[str, int], Tuple[int, str]] = {}
+        self.rounds_checked = 0
+        #: node -> rounds completed (split by recovery marks)
+        self._rounds_by_node: Dict[str, int] = {}
+        self._recovered: Dict[str, int] = {}  # node -> rounds at recovery
+        self._unsubscribe = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self):
+        """Subscribe to telemetry (enables the tracer if it was off)."""
+        if self._unsubscribe is None:
+            self._unsubscribe = trace.subscribe(self._on_trace)
+        return self
+
+    def detach(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+
+    # -- online checks ---------------------------------------------------
+
+    def observe_reply(self, client_id: str, value_us: int, *,
+                      wall_s: float, rtt_s: float = 0.0) -> None:
+        """Feed one successful client call (reply received at ``wall_s``
+        on the monotonic clock, after ``rtt_s`` seconds in flight)."""
+        log = self._replies.setdefault(client_id, [])
+        log.append((value_us, wall_s, rtt_s))
+        if len(log) > 64:
+            del log[:-64]
+        self.replies_checked += 1
+        prev = self._last.get(client_id)
+        self._last[client_id] = (value_us, wall_s, rtt_s)
+        if prev is None:
+            return
+        prev_value, prev_wall, prev_rtt = prev
+        if value_us <= prev_value:
+            self._flag("monotonicity", client_id,
+                       f"value went {prev_value} -> {value_us} "
+                       f"(must be strictly increasing)",
+                       list(log))
+            return
+        # Staleness/rate bound.  Each value was generated somewhere inside
+        # its call window, so the generation gap differs from the
+        # reply-to-reply wall gap by at most the two calls' latencies;
+        # beyond that, only the staleness budget (fast path may serve a
+        # value up to budget old) and clock drift separate value time from
+        # wall time.
+        dv_us = value_us - prev_value
+        dw_us = (wall_s - prev_wall) * 1e6
+        slack_us = (self.staleness_budget_us
+                    + (rtt_s + prev_rtt) * 1e6
+                    + abs(dw_us) * self.drift_ppm * 1e-6
+                    + 1_000.0)  # floor for scheduling noise
+        if dv_us > dw_us + slack_us or dv_us < dw_us - slack_us:
+            self._flag("staleness", client_id,
+                       f"values advanced {dv_us:.0f} us over "
+                       f"{dw_us:.0f} us of wall time "
+                       f"(allowed slack {slack_us:.0f} us)",
+                       list(log))
+
+    def note_recovery(self, node_id: str) -> None:
+        """Record that ``node_id`` was recovered (its post-recovery rounds
+        are checked by :meth:`finish`)."""
+        self._recovered[node_id] = self._rounds_by_node.get(node_id, 0)
+
+    def _on_trace(self, event) -> None:
+        if event.kind != "round.complete":
+            return
+        node = event.node
+        group_us = event.fields.get("group_us")
+        key = (event.fields.get("thread"), event.fields.get("round"))
+        self.rounds_checked += 1
+        self._rounds_by_node[node] = self._rounds_by_node.get(node, 0) + 1
+        seen = self._rounds.get(key)
+        if seen is None:
+            self._rounds[key] = (group_us, node)
+        elif seen[0] != group_us:
+            self._flag("agreement", node,
+                       f"round {key[1]} of thread {key[0]!r}: {node} "
+                       f"committed group={group_us} but {seen[1]} "
+                       f"committed group={seen[0]}",
+                       [seen, (group_us, node)])
+
+    # -- post-run checks -------------------------------------------------
+
+    def finish(self, bed=None, *, group: Optional[str] = None) -> None:
+        """Run the end-of-run checks against the testbed's replicas."""
+        self.detach()
+        if bed is not None and group is not None and group in bed.services:
+            for node_id, replica in bed.replicas(group).items():
+                state = getattr(replica.time_source, "clock_state", None)
+                if state is None:
+                    continue  # baseline source; nothing to re-derive
+                for entry in state.history:
+                    group_us, physical_us, offset_us = entry
+                    if offset_us != group_us - physical_us:
+                        self._flag(
+                            "offset", node_id,
+                            f"commit {entry} violates "
+                            f"offset = group - physical "
+                            f"({offset_us} != {group_us - physical_us})",
+                            list(state.history[-8:]))
+                        break
+        for node_id, rounds_before in self._recovered.items():
+            if self._rounds_by_node.get(node_id, 0) <= rounds_before:
+                self._flag(
+                    "recovery", node_id,
+                    "recovered replica completed no CCS round after "
+                    "recovery — its clock offset was never re-derived",
+                    [("rounds_before_recovery", rounds_before)])
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _flag(self, check: str, subject: str, detail: str,
+              transcript: List[Any]) -> None:
+        self.violations.append(
+            Violation(check, subject, detail, transcript))
+
+    def report(self) -> Dict[str, Any]:
+        """The oracle's half of the JSON verdict."""
+        return {
+            "ok": self.ok,
+            "replies_checked": self.replies_checked,
+            "rounds_checked": self.rounds_checked,
+            "clients": len(self._replies),
+            "violations": [v.as_dict() for v in self.violations],
+        }

@@ -1,0 +1,224 @@
+"""The ``python -m repro chaos`` harness.
+
+Runs one scenario end to end, in process but over real sockets:
+
+1. boot a :class:`~repro.net.testbed.LiveTestbed` whose UDP transport is
+   wrapped in a seeded :class:`~repro.chaos.transport.ChaosTransport`;
+2. deploy the daemon's :class:`~repro.net.daemon.TimeApp` on every node
+   (active replication, CTS time source, fast path on so the staleness
+   invariant is exercised) and interpose a
+   :class:`~repro.net.daemon.ClientGateway` on each, exactly as
+   ``repro serve`` does — crash/recover of a node is therefore the
+   in-process equivalent of stopping and restarting a daemon;
+3. compile the scenario into a :class:`~repro.sim.faults.FaultPlan`, arm
+   it, and — for every ``recover`` event — schedule the daemon-restart
+   half (gateway re-interposition + replica re-add via state transfer)
+   in the same kernel tick, so no client frame can reach a bare Totem
+   receiver;
+4. hammer the cluster from threaded :class:`~repro.net.client.LiveCaller`
+   gateway clients riding the session floor (``after_us``), feeding
+   every reply to the :class:`~repro.chaos.oracle.InvariantOracle`;
+5. emit a JSON-able verdict: the seeded schedule and its hash, injection
+   and client tallies, and the oracle's judgement.
+
+Everything that varies is pinned by ``--seed``: the testbed's clock
+spread, the transport's per-pair fault streams, and the fault schedule
+itself (hashed into the verdict, regression-tested byte-identical).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from ..errors import RpcTimeout
+from ..net.client import LiveCaller
+from ..net.daemon import ClientGateway, TimeApp
+from ..net.testbed import LiveTestbed
+from ..replication.envelope import Envelope
+from .oracle import InvariantOracle
+from .scenario import ChaosScenario, compile_plan
+
+GROUP = "timesvc"
+
+
+class _ChaosClient:
+    """One threaded gateway client feeding the oracle."""
+
+    def __init__(self, index: int, servers, oracle: InvariantOracle,
+                 stop: threading.Event, *, timeout: float = 1.5):
+        self.client_id = f"chaos{index}"
+        self.caller = LiveCaller(servers, client_id=self.client_id)
+        self.oracle = oracle
+        self.stop = stop
+        self.timeout = timeout
+        self.calls = 0
+        self.errors = 0
+        self.thread = threading.Thread(
+            target=self._run, name=self.client_id, daemon=True)
+
+    def _run(self) -> None:
+        last_us: Optional[int] = None
+        while not self.stop.is_set():
+            started = time.monotonic()
+            self.calls += 1
+            try:
+                outcome = self.caller.call("gettimeofday", last_us,
+                                           timeout=self.timeout)
+            except RpcTimeout:
+                self.errors += 1
+                continue
+            finished = time.monotonic()
+            result = outcome.first()
+            if not result.ok:
+                self.errors += 1
+                continue
+            value_us = result.value["micros"]
+            self.oracle.observe_reply(
+                self.client_id, value_us,
+                wall_s=finished, rtt_s=finished - started)
+            last_us = value_us
+            time.sleep(0.005)  # ~100 req/s per client is plenty of load
+
+    def close(self) -> None:
+        self.caller.close()
+
+
+def _install_gateway(bed: LiveTestbed, node_id: str,
+                     gateways: list) -> None:
+    """Interpose a client gateway in front of the node's Totem receiver
+    (the NodeDaemon dispatch, applied to an in-process testbed node).
+    A recovered node gets a fresh gateway (daemon restart semantics);
+    the old one stays in ``gateways`` so its tallies survive."""
+    node = bed.node(node_id)
+    totem_receiver = node._receiver
+    gateway = ClientGateway(bed.runtimes[node_id], node.iface,
+                            node_id=node_id)
+    gateways.append(gateway)
+
+    def dispatch(frame) -> None:
+        if isinstance(frame.payload, Envelope):
+            gateway.handle(frame)
+        else:
+            totem_receiver(frame)
+
+    node.set_receiver(dispatch)
+
+
+def run_chaos(
+    scenario: ChaosScenario,
+    *,
+    seed: int = 0,
+    duration_s: Optional[float] = None,
+    clients: Optional[int] = None,
+    fast_path: bool = True,
+    max_staleness_us: int = 2_000,
+) -> Dict:
+    """Run one chaos scenario; return the JSON-able verdict."""
+    duration = duration_s if duration_s is not None else scenario.duration_s
+    n_clients = clients if clients is not None else scenario.clients
+    plan = compile_plan(scenario)
+    oracle = InvariantOracle(staleness_budget_us=max_staleness_us)
+    gateways: list = []
+
+    bed = LiveTestbed(node_ids=scenario.node_ids, seed=seed,
+                      chaos_seed=seed)
+    try:
+        bed.deploy(GROUP, TimeApp, nodes=scenario.node_ids,
+                   style="active", time_source="cts",
+                   fast_path=fast_path, max_staleness_us=max_staleness_us)
+        bed.start()
+        for node_id in scenario.node_ids:
+            _install_gateway(bed, node_id, gateways)
+        oracle.attach()
+
+        plan.arm(bed)
+        # The daemon-restart half of every recover event: re-add the
+        # replica (state transfer) and re-interpose the gateway on the
+        # rebuilt runtime.  Scheduled *after* arming at the same event
+        # time, so it runs in the same kernel tick as bed.recover().
+        def _restart(node_id: str) -> None:
+            oracle.note_recovery(node_id)
+            _install_gateway(bed, node_id, gateways)
+            bed.add_replica(GROUP, node_id, TimeApp,
+                            style="active", time_source="cts",
+                            fast_path=fast_path,
+                            max_staleness_us=max_staleness_us)
+
+        for event in plan.schedule():
+            if event.kind == "recover":
+                bed.sim.schedule(event.at_s, _restart, event.target[0])
+
+        servers = [bed.node(node_id).address
+                   for node_id in scenario.node_ids]
+        stop = threading.Event()
+        workers = [_ChaosClient(i, servers, oracle, stop)
+                   for i in range(n_clients)]
+        for worker in workers:
+            worker.thread.start()
+
+        deadline = time.monotonic() + duration
+        while time.monotonic() < deadline:
+            bed.run(0.05)
+        grace = time.monotonic() + 10.0
+        while not plan.done and time.monotonic() < grace:
+            bed.run(0.05)
+        stop.set()
+        for worker in workers:
+            worker.thread.join(timeout=self_timeout(worker))
+        bed.run(0.2)  # let in-flight replies drain before judging
+        oracle.finish(bed, group=GROUP)
+
+        calls = sum(w.calls for w in workers)
+        errors = sum(w.errors for w in workers)
+        retries = sum(w.caller.stats.retries for w in workers)
+        verdict = {
+            "scenario": scenario.name,
+            "seed": seed,
+            "nodes": list(scenario.node_ids),
+            "duration_s": duration,
+            "schedule_hash": plan.schedule_hash(),
+            "schedule": [event.canonical() for event in plan.schedule()],
+            "faults_injected": len(plan.injected),
+            "faults_pending": len(plan.events) - len(plan.injected),
+            "chaos": {
+                "frames_dropped": bed.chaos.frames_dropped,
+                "frames_delayed": bed.chaos.frames_delayed,
+                "frames_duplicated": bed.chaos.frames_duplicated,
+                "frames_blocked": bed.chaos.frames_blocked,
+            },
+            "clients": {
+                "count": n_clients,
+                "calls": calls,
+                "errors": errors,
+                "retries": retries,
+                "breaker_skips": sum(
+                    w.caller.stats.breaker_skips for w in workers),
+                "error_rate": (errors / calls) if calls else 1.0,
+            },
+            "gateway": {
+                "requests_injected": sum(
+                    g.requests_injected for g in gateways),
+                "requests_deduplicated": sum(
+                    g.requests_deduplicated for g in gateways),
+                "replies_replayed": sum(
+                    g.replies_replayed for g in gateways),
+            },
+            "oracle": oracle.report(),
+        }
+        verdict["ok"] = (oracle.ok
+                         and plan.done
+                         and oracle.replies_checked > 0)
+        for worker in workers:
+            worker.close()
+        return verdict
+    finally:
+        oracle.detach()
+        bed.shutdown()
+
+
+def self_timeout(worker: _ChaosClient) -> float:
+    """A worker blocked in one last call returns within its call timeout
+    plus scheduling slack."""
+    return worker.timeout + 2.0

@@ -1,0 +1,348 @@
+"""Chaos scenario files: a small declarative DSL over ``FaultPlan``.
+
+A scenario is a mapping with a cluster shape and a timed event list::
+
+    name: partition-and-crash
+    nodes: 3                  # or an explicit list: [n0, n1, n2]
+    duration: 10.0            # seconds of wall time to run
+    clients: 2                # gateway clients hammering the cluster
+    events:
+      - at: 1.0
+        drop: 0.05            # 5% seeded loss on every pair
+      - at: 2.0
+        partition: [[n0, n1], [n2]]
+      - at: 4.0
+        heal: true
+      - at: 5.0
+        crash: n0
+      - at: 7.0
+        recover: n0
+
+Event keys map one-to-one onto :class:`~repro.sim.faults.FaultPlan`
+builders: ``crash``, ``recover``, ``isolate`` (node id), ``heal``
+(ignored value), ``partition`` (list of disjoint node lists), ``drop`` /
+``duplicate`` / ``reorder`` (probability, optional ``src``/``dst``,
+``reorder`` also takes ``window``), ``delay`` (seconds, optional
+``jitter``/``src``/``dst``).
+
+Files are parsed with a built-in YAML *subset* — block mappings, block
+lists, inline flow lists, plain scalars, comments — because the
+toolchain deliberately has no third-party dependencies.  JSON is a
+subset of that subset in spirit and is accepted too (``.json`` files are
+handed to :mod:`json` directly).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..sim.faults import FaultPlan
+
+# ---------------------------------------------------------------------------
+# Minimal YAML-subset parser (no external dependencies).
+# ---------------------------------------------------------------------------
+
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    if text == "" or text in ("~", "null", "Null", "NULL"):
+        return None
+    if text in ("true", "True", "TRUE"):
+        return True
+    if text in ("false", "False", "FALSE"):
+        return False
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in ("'", '"'):
+        return text[1:-1]
+    if text.startswith("[") and text.endswith("]"):
+        return _parse_flow_list(text)
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _split_flow_items(body: str) -> List[str]:
+    """Split a flow-list body on top-level commas."""
+    items, depth, start = [], 0, 0
+    for i, ch in enumerate(body):
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            items.append(body[start:i])
+            start = i + 1
+    tail = body[start:]
+    if tail.strip() or items:
+        items.append(tail)
+    return [item for item in items if item.strip()]
+
+
+def _parse_flow_list(text: str) -> List[Any]:
+    body = text.strip()[1:-1]
+    return [_parse_scalar(item) for item in _split_flow_items(body)]
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment (quote-aware)."""
+    quote = None
+    for i, ch in enumerate(line):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#" and (i == 0 or line[i - 1] in (" ", "\t")):
+            return line[:i]
+    return line
+
+
+def _split_key(content: str, where: str) -> Tuple[str, str]:
+    """Split ``key: value`` at the first colon outside quotes/brackets."""
+    depth, quote = 0, None
+    for i, ch in enumerate(content):
+        if quote:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ":" and depth == 0 and (
+                i + 1 == len(content) or content[i + 1] in (" ", "\t")):
+            return content[:i].strip(), content[i + 1:].strip()
+    raise ConfigurationError(f"expected 'key: value' at {where}: {content!r}")
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the YAML subset described in the module docstring."""
+    lines: List[Tuple[int, str, int]] = []  # (indent, content, line number)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise ConfigurationError(
+                f"line {lineno}: tabs are not allowed in indentation")
+        stripped = _strip_comment(raw).rstrip()
+        if not stripped.strip():
+            continue
+        lines.append((len(stripped) - len(stripped.lstrip()), stripped.strip(),
+                      lineno))
+    if not lines:
+        return {}
+    value, index = _parse_block(lines, 0, lines[0][0])
+    if index != len(lines):
+        indent, content, lineno = lines[index]
+        raise ConfigurationError(
+            f"line {lineno}: unexpected indentation for {content!r}")
+    return value
+
+
+def _parse_block(lines, index: int, indent: int):
+    if lines[index][1].startswith("- ") or lines[index][1] == "-":
+        return _parse_list(lines, index, indent)
+    return _parse_mapping(lines, index, indent)
+
+
+def _parse_list(lines, index: int, indent: int):
+    items: List[Any] = []
+    while index < len(lines) and lines[index][0] == indent:
+        line_indent, content, lineno = lines[index]
+        if not (content.startswith("- ") or content == "-"):
+            break
+        body = content[2:].strip() if content.startswith("- ") else ""
+        if not body:
+            index += 1
+            if index < len(lines) and lines[index][0] > indent:
+                value, index = _parse_block(lines, index, lines[index][0])
+                items.append(value)
+            else:
+                items.append(None)
+        elif ":" in body and not body.startswith("["):
+            # "- key: value" opens an inline mapping; continuation keys sit
+            # at the column of `key`, i.e. indent + 2.
+            key, value_text = _split_key(body, f"line {lineno}")
+            mapping: Dict[str, Any] = {}
+            index += 1
+            if value_text:
+                mapping[key] = _parse_scalar(value_text)
+            elif index < len(lines) and lines[index][0] > indent + 2:
+                mapping[key], index = _parse_block(lines, index,
+                                                   lines[index][0])
+            else:
+                mapping[key] = None
+            if index < len(lines) and lines[index][0] == indent + 2 \
+                    and not lines[index][1].startswith("- "):
+                rest, index = _parse_mapping(lines, index, indent + 2)
+                mapping.update(rest)
+            items.append(mapping)
+        else:
+            items.append(_parse_scalar(body))
+            index += 1
+    return items, index
+
+
+def _parse_mapping(lines, index: int, indent: int):
+    mapping: Dict[str, Any] = {}
+    while index < len(lines) and lines[index][0] == indent:
+        line_indent, content, lineno = lines[index]
+        if content.startswith("- "):
+            break
+        key, value_text = _split_key(content, f"line {lineno}")
+        if key in mapping:
+            raise ConfigurationError(f"line {lineno}: duplicate key {key!r}")
+        index += 1
+        if value_text:
+            mapping[key] = _parse_scalar(value_text)
+        elif index < len(lines) and lines[index][0] > indent:
+            mapping[key], index = _parse_block(lines, index, lines[index][0])
+        else:
+            mapping[key] = None
+    return mapping, index
+
+
+# ---------------------------------------------------------------------------
+# Scenario model
+# ---------------------------------------------------------------------------
+
+#: Event keys that identify the fault kind within an event mapping.
+_KIND_KEYS = ("crash", "recover", "isolate", "heal", "partition", "drop",
+              "delay", "duplicate", "reorder")
+
+
+@dataclass
+class ChaosScenario:
+    """A parsed, validated scenario ready to compile into a plan."""
+
+    name: str
+    node_ids: List[str]
+    duration_s: float
+    clients: int = 2
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_ids)
+
+
+def load_scenario(path: Union[str, os.PathLike]) -> ChaosScenario:
+    """Load and validate a scenario file (YAML subset or JSON)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if str(path).endswith(".json"):
+        data = json.loads(text)
+    else:
+        data = parse_simple_yaml(text)
+    return scenario_from_dict(data, source=str(path))
+
+
+def scenario_from_dict(data: Any, *, source: str = "<scenario>") -> ChaosScenario:
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{source}: scenario must be a mapping, got {type(data).__name__}")
+    known = {"name", "nodes", "duration", "duration_s", "clients", "events"}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"{source}: unknown scenario key(s) {sorted(unknown)}; "
+            f"expected {sorted(known)}")
+
+    nodes = data.get("nodes", 3)
+    if isinstance(nodes, int):
+        if nodes < 1:
+            raise ConfigurationError(f"{source}: nodes must be >= 1")
+        node_ids = [f"n{i}" for i in range(nodes)]
+    elif isinstance(nodes, list) and all(isinstance(n, str) for n in nodes):
+        node_ids = list(nodes)
+    else:
+        raise ConfigurationError(
+            f"{source}: nodes must be an int or a list of node ids")
+
+    duration = data.get("duration", data.get("duration_s", 10.0))
+    if not isinstance(duration, (int, float)) or duration <= 0:
+        raise ConfigurationError(f"{source}: duration must be a positive number")
+
+    clients = data.get("clients", 2)
+    if not isinstance(clients, int) or clients < 1:
+        raise ConfigurationError(f"{source}: clients must be a positive int")
+
+    events = data.get("events", [])
+    if not isinstance(events, list):
+        raise ConfigurationError(f"{source}: events must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ConfigurationError(
+                f"{source}: event #{i} must be a mapping, got "
+                f"{type(event).__name__}")
+        if "at" not in event:
+            raise ConfigurationError(f"{source}: event #{i} is missing 'at'")
+        kinds = [k for k in _KIND_KEYS if k in event]
+        if len(kinds) != 1:
+            raise ConfigurationError(
+                f"{source}: event #{i} must have exactly one of {_KIND_KEYS}, "
+                f"got {kinds or sorted(set(event) - {'at'})}")
+
+    return ChaosScenario(
+        name=str(data.get("name", "chaos")),
+        node_ids=node_ids,
+        duration_s=float(duration),
+        clients=clients,
+        events=events,
+    )
+
+
+def compile_plan(scenario: ChaosScenario) -> FaultPlan:
+    """Compile the scenario's event list into an (unarmed) fault plan.
+
+    Compilation is pure — no randomness, no clock reads — so the same
+    scenario always produces the same plan and the same
+    :meth:`~repro.sim.faults.FaultPlan.schedule_hash`.
+    """
+    plan = FaultPlan()
+    for i, event in enumerate(scenario.events):
+        at = float(event["at"])
+        src = event.get("src")
+        dst = event.get("dst")
+        try:
+            if "crash" in event:
+                plan.crash(str(event["crash"]), at=at)
+            elif "recover" in event:
+                plan.recover(str(event["recover"]), at=at)
+            elif "isolate" in event:
+                plan.isolate(str(event["isolate"]), at=at)
+            elif "heal" in event:
+                plan.heal(at=at)
+            elif "partition" in event:
+                components = event["partition"]
+                if not isinstance(components, list) or not all(
+                        isinstance(c, list) for c in components):
+                    raise ConfigurationError(
+                        "partition must be a list of node lists, e.g. "
+                        "[[n0, n1], [n2]]")
+                plan.partition(*[set(map(str, c)) for c in components], at=at)
+            elif "drop" in event:
+                plan.drop(float(event["drop"]), at=at, src=src, dst=dst)
+            elif "delay" in event:
+                plan.delay(float(event["delay"]), at=at,
+                           jitter_s=float(event.get("jitter", 0.0)),
+                           src=src, dst=dst)
+            elif "duplicate" in event:
+                plan.duplicate(float(event["duplicate"]), at=at,
+                               src=src, dst=dst)
+            elif "reorder" in event:
+                plan.reorder(float(event["reorder"]), at=at,
+                             window_s=float(event.get("window", 0.01)),
+                             src=src, dst=dst)
+        except ConfigurationError as exc:
+            raise ConfigurationError(
+                f"{scenario.name}: event #{i}: {exc}") from exc
+    return plan

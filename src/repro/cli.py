@@ -21,6 +21,12 @@ simulator::
         --peers n0=127.0.0.1:9000,n1=127.0.0.1:9001,n2=127.0.0.1:9002
     python -m repro call gettimeofday --connect 127.0.0.1:9000 --expect 3
 
+Chaos (see ``docs/chaos.md``) — seeded fault injection against a live
+in-process cluster, judged by the invariant oracle::
+
+    python -m repro chaos --scenario examples/chaos_partition.yaml --seed 7
+    python -m repro loadgen --chaos --assert-counters
+
 Observability: every experiment accepts ``--metrics out.jsonl`` (enable
 the metrics registry and dump a JSONL + Prometheus-text export) and
 ``--trace`` (stream protocol trace events to stderr); see
@@ -141,10 +147,21 @@ def cmd_loadgen(args) -> int:
     from .workloads import (
         record_benchmark,
         run_loadgen,
+        run_loadgen_chaos,
         run_loadgen_comparison,
     )
 
-    if args.compare or args.bench_json:
+    if args.duration is None:
+        args.duration = 0.3
+    if args.chaos:
+        args.duration = max(args.duration, 0.6)
+        single = run_loadgen_chaos(
+            concurrency=args.concurrency,
+            duration_s=args.duration,
+            seed=args.seed,
+            max_staleness_us=args.max_staleness_us)
+        results = {single.mode: single}
+    elif args.compare or args.bench_json:
         results = run_loadgen_comparison(
             concurrency=args.concurrency, duration_s=args.duration,
             seed=args.seed, fast_path=args.fast_path,
@@ -174,19 +191,37 @@ def cmd_loadgen(args) -> int:
     if per_op is not None and amortized is not None and per_op.ops_per_s:
         print(f"speedup vs per-op rounds: "
               f"x{amortized.ops_per_s / per_op.ops_per_s:.2f}")
+    chaos = results.get("chaos")
+    if chaos is not None:
+        rate = chaos.errors / max(1, chaos.completed + chaos.errors)
+        print(f"faults on: {chaos.errors} errors over "
+              f"{chaos.completed + chaos.errors} calls "
+              f"({rate:.2%} client-visible), {chaos.retries} retries")
     if args.bench_json:
         record_benchmark(args.bench_json, results)
         print(f"benchmark trajectory appended to {args.bench_json}",
               file=sys.stderr)
     if args.assert_counters:
-        target = amortized or next(iter(results.values()))
         failures = []
-        if target.ops_coalesced <= 0:
-            failures.append("no operations were coalesced")
-        if args.fast_path and target.fast_path_hits <= 0:
-            failures.append("the fast path never served a read")
-        if target.errors:
-            failures.append(f"{target.errors} client calls failed")
+        if chaos is not None:
+            # Under faults the bar is a *bounded* client-visible error
+            # rate — retries and backoff mask the crash, not luck.
+            rate = chaos.errors / max(1, chaos.completed + chaos.errors)
+            if chaos.completed <= 0:
+                failures.append("no chaos-mode calls completed")
+            if rate > 0.05:
+                failures.append(
+                    f"chaos error rate {rate:.2%} exceeds the 5% bound")
+            if chaos.ops_coalesced <= 0:
+                failures.append("no operations were coalesced")
+        else:
+            target = amortized or next(iter(results.values()))
+            if target.ops_coalesced <= 0:
+                failures.append("no operations were coalesced")
+            if args.fast_path and target.fast_path_hits <= 0:
+                failures.append("the fast path never served a read")
+            if target.errors:
+                failures.append(f"{target.errors} client calls failed")
         for failure in failures:
             print(f"ASSERT: {failure}", file=sys.stderr)
         return 1 if failures else 0
@@ -507,6 +542,38 @@ def cmd_call(args) -> int:
     return status
 
 
+def cmd_chaos(args) -> int:
+    """Run a chaos scenario against a live in-process cluster.
+
+    Prints the JSON verdict (schedule hash, fault tallies, client
+    tallies, oracle judgement) to stdout; exit status 0 iff the
+    invariant oracle saw zero violations and every fault was injected.
+    """
+    import json
+
+    from .chaos import load_scenario, run_chaos
+    from .errors import ConfigurationError
+
+    if not args.scenario:
+        print("chaos requires --scenario FILE (see docs/chaos.md)",
+              file=sys.stderr)
+        return 2
+    try:
+        scenario = load_scenario(args.scenario)
+    except (OSError, ConfigurationError, ValueError) as error:
+        print(f"chaos: {error}", file=sys.stderr)
+        return 2
+    verdict = run_chaos(
+        scenario,
+        seed=args.seed,
+        duration_s=args.duration,
+        clients=args.clients,
+        max_staleness_us=args.max_staleness_us,
+    )
+    print(json.dumps(verdict, indent=2, sort_keys=True))
+    return 0 if verdict["ok"] else 1
+
+
 def cmd_all(args) -> int:
     status = 0
     for command in (cmd_fig1, cmd_fig5, cmd_ccs, cmd_fig6, cmd_failover,
@@ -531,6 +598,7 @@ COMMANDS = {
     "all": cmd_all,
     "serve": cmd_serve,
     "call": cmd_call,
+    "chaos": cmd_chaos,
 }
 
 
@@ -615,11 +683,17 @@ def build_parser() -> argparse.ArgumentParser:
         "load generator", "options for 'loadgen'")
     load.add_argument("--concurrency", type=int, default=16,
                       help="closed-loop worker count")
-    load.add_argument("--duration", type=float, default=0.3,
-                      help="measurement window in (virtual) seconds")
+    load.add_argument("--duration", type=float, default=None,
+                      help="measurement window in seconds (loadgen default "
+                           "0.3 virtual s; chaos default comes from the "
+                           "scenario file)")
     load.add_argument("--compare", action="store_true",
                       help="run per-op-rounds and coalesced modes back "
                            "to back and report the speedup")
+    load.add_argument("--chaos", action="store_true",
+                      help="loadgen: run the faults-on mode (lossy LAN + "
+                           "mid-run replica crash/recovery, retrying "
+                           "clients) and report throughput under faults")
     load.add_argument("--bench-json", metavar="PATH", default=None,
                       help="append the comparison to the persisted "
                            "benchmark trajectory at PATH (implies "
@@ -628,6 +702,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit nonzero unless coalescing (and, with "
                            "--fast-path, fast path) counters are nonzero "
                            "— the CI perf smoke check")
+    chaos = parser.add_argument_group(
+        "chaos", "options for 'chaos' (see docs/chaos.md)")
+    chaos.add_argument("--scenario", default=None, metavar="FILE",
+                       help="chaos: scenario file (YAML subset or JSON)")
+    chaos.add_argument("--clients", type=int, default=None,
+                       help="chaos: gateway client threads (default from "
+                            "the scenario file)")
     live = parser.add_argument_group(
         "live mode", "options for 'serve' and 'call' (see docs/live_mode.md)")
     live.add_argument("--node", default=None,

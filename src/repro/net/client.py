@@ -10,24 +10,51 @@ just an RPC stub: one call observes the value every replica computed,
 so agreement ("identical group-clock reads") is checked directly.
 
 No kernel, no asyncio — a plain blocking socket with a deadline, usable
-from scripts and CI.  Retries walk the server list, so a call survives
-the death of the daemon it first contacted (the group's state does,
-too; that is the service's job).
+from scripts and CI.  The retry loop is built for hostile networks (the
+chaos suite drives it through seeded loss and partitions):
+
+* one **monotonic deadline** per call; every attempt spends from the
+  remaining budget, so a black-holed first server cannot starve the
+  rest of the list;
+* retries walk the server list with **jittered exponential backoff**
+  between full sweeps (deterministic per client id, so chaos runs
+  replay);
+* a per-server **circuit breaker** skips addresses that keep timing
+  out, probing them again after a cooldown (half-open);
+* retries re-send the **same** ``(conn_id, seq)`` — the operation id —
+  so the daemon gateway can deduplicate re-invocations instead of
+  executing them twice.
+
+All of it is surfaced as ``repro.obs`` counters labelled by client.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import socket
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..errors import RpcTimeout
 from ..replication.envelope import MsgType, make_envelope
 from ..rpc.messages import Invocation, Result
 from .udp import Address
 from .wire import FrameError, decode_frame, encode_frame
+
+M_CLIENT_CALLS = obs.REGISTRY.counter(
+    "client_calls_total", "calls issued by live callers")
+M_CLIENT_RETRIES = obs.REGISTRY.counter(
+    "client_retries_total", "attempts beyond the first (resend of the "
+    "same operation id)")
+M_CLIENT_BACKOFFS = obs.REGISTRY.counter(
+    "client_backoffs_total", "backoff sleeps between retry sweeps")
+M_CLIENT_BREAKER_OPEN = obs.REGISTRY.counter(
+    "client_breaker_open_total", "circuit-breaker trips (server skipped)")
+M_CLIENT_FAILURES = obs.REGISTRY.counter(
+    "client_call_failures_total", "calls that exhausted their deadline")
 
 
 @dataclass
@@ -38,6 +65,7 @@ class CallOutcome:
     results: Dict[str, Result]
     latency_us: int
     via: Address
+    attempts: int = 1
 
     @property
     def values(self) -> Dict[str, object]:
@@ -53,8 +81,36 @@ class CallOutcome:
         return next(iter(self.results.values()))
 
 
+@dataclass
+class CallerStats:
+    """Aggregate retry behaviour of one caller (mirrors the counters)."""
+
+    calls: int = 0
+    retries: int = 0
+    backoffs: int = 0
+    breaker_skips: int = 0
+    failures: int = 0
+
+
+@dataclass
+class _Breaker:
+    """Per-server consecutive-failure tracking."""
+
+    failures: int = 0
+    open_until: float = 0.0
+    probing: bool = field(default=False, repr=False)
+
+
 class LiveCaller:
     """A blocking client endpoint for a live replica group."""
+
+    #: Consecutive timeouts before a server's breaker opens.
+    BREAKER_THRESHOLD = 3
+    #: Seconds a tripped breaker stays open before a half-open probe.
+    BREAKER_COOLDOWN = 1.0
+    #: Backoff: base * 2^sweep, jittered, capped.
+    BACKOFF_BASE = 0.02
+    BACKOFF_CAP = 0.5
 
     def __init__(
         self,
@@ -75,6 +131,11 @@ class LiveCaller:
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.bind((bind_host, 0))
         self._seq = 0
+        self.stats = CallerStats()
+        self._breakers: Dict[Address, _Breaker] = {
+            address: _Breaker() for address in self.servers}
+        # Deterministic jitter so chaos runs with a fixed client id replay.
+        self._rng = random.Random(f"caller|{self.client_id}")
 
     # -- calling -------------------------------------------------------
 
@@ -89,9 +150,12 @@ class LiveCaller:
         """Invoke ``method(*args)`` on the group.
 
         Waits until ``expect_replies`` distinct replicas have answered
-        (or the timeout, if more keep arriving they are ignored).  Walks
-        the server list on timeout, re-sending the same invocation, and
-        raises :class:`~repro.errors.RpcTimeout` when no server answers.
+        (if more keep arriving they are ignored).  The whole call runs
+        against one monotonic deadline ``now + timeout``; within it the
+        caller sweeps the server list (skipping open breakers), re-sends
+        the same invocation, and backs off exponentially with jitter
+        between sweeps.  Raises :class:`~repro.errors.RpcTimeout` when
+        the budget is exhausted.
         """
         self._seq += 1
         seq = self._seq
@@ -105,20 +169,115 @@ class LiveCaller:
             body=Invocation(method, tuple(args)),
         )
         data = encode_frame(self.client_id, envelope)
-        per_server = max(timeout / len(self.servers), 0.05)
-        for address in self.servers:
-            started = time.monotonic()
-            try:
-                self.sock.sendto(data, address)
-            except OSError:
-                continue
-            results = self._collect(conn_id, seq, expect_replies,
-                                    deadline=started + per_server)
-            if results:
-                latency_us = int((time.monotonic() - started) * 1_000_000)
-                return CallOutcome(method, results, latency_us, address)
+        self.stats.calls += 1
+        if obs.REGISTRY.enabled:
+            M_CLIENT_CALLS.inc(client=self.client_id)
+
+        started = time.monotonic()
+        deadline = started + timeout
+        attempts = 0
+        sweep = 0
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                break
+            candidates = self._sweep_order(now)
+            if not candidates:
+                # Every breaker is open; the earliest half-open probe is
+                # still the best move — wait for it (bounded by deadline).
+                reopen = min(b.open_until for b in self._breakers.values())
+                self._sleep(min(reopen, deadline) - now)
+                candidates = self._sweep_order(time.monotonic(),
+                                               ignore_breakers=True)
+            for position, address in enumerate(candidates):
+                now = time.monotonic()
+                remaining = deadline - now
+                if remaining <= 0:
+                    break
+                # First sweep splits the remaining budget across the
+                # untried servers; later sweeps give each probe the
+                # backoff-scaled slice, never more than what's left.
+                untried = max(len(candidates) - position, 1)
+                slice_s = remaining / untried if sweep == 0 else min(
+                    remaining, max(0.1, self.BACKOFF_BASE * (2 ** sweep)))
+                attempts += 1
+                if attempts > 1:
+                    self.stats.retries += 1
+                    if obs.REGISTRY.enabled:
+                        M_CLIENT_RETRIES.inc(client=self.client_id)
+                try:
+                    self.sock.sendto(data, address)
+                except OSError:
+                    self._record_failure(address)
+                    continue
+                results = self._collect(conn_id, seq, expect_replies,
+                                        deadline=now + slice_s)
+                if results:
+                    self._record_success(address)
+                    latency_us = int((time.monotonic() - started) * 1_000_000)
+                    return CallOutcome(method, results, latency_us, address,
+                                       attempts=attempts)
+                self._record_failure(address)
+            sweep += 1
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            pause = min(
+                self._rng.uniform(0.5, 1.0)
+                * min(self.BACKOFF_BASE * (2 ** sweep), self.BACKOFF_CAP),
+                remaining,
+            )
+            if pause > 0:
+                self.stats.backoffs += 1
+                if obs.REGISTRY.enabled:
+                    M_CLIENT_BACKOFFS.inc(client=self.client_id)
+                self._sleep(pause)
+        self.stats.failures += 1
+        if obs.REGISTRY.enabled:
+            M_CLIENT_FAILURES.inc(client=self.client_id)
         raise RpcTimeout(
-            f"no reply to {self.group}.{method} from any of {self.servers}")
+            f"no reply to {self.group}.{method} from any of {self.servers} "
+            f"within {timeout:.3f}s ({attempts} attempts)")
+
+    # -- breaker ---------------------------------------------------------
+
+    def _sweep_order(self, now: float, *,
+                     ignore_breakers: bool = False) -> List[Address]:
+        """Servers to try this sweep, open breakers skipped (a breaker
+        past its cooldown admits one half-open probe)."""
+        order: List[Address] = []
+        for address in self.servers:
+            breaker = self._breakers[address]
+            if ignore_breakers or breaker.failures < self.BREAKER_THRESHOLD:
+                order.append(address)
+            elif now >= breaker.open_until:
+                breaker.probing = True
+                order.append(address)
+            else:
+                self.stats.breaker_skips += 1
+                if obs.REGISTRY.enabled:
+                    M_CLIENT_BREAKER_OPEN.inc(client=self.client_id)
+        return order
+
+    def _record_failure(self, address: Address) -> None:
+        breaker = self._breakers[address]
+        breaker.failures += 1
+        if breaker.failures >= self.BREAKER_THRESHOLD:
+            breaker.open_until = time.monotonic() + self.BREAKER_COOLDOWN
+        breaker.probing = False
+
+    def _record_success(self, address: Address) -> None:
+        breaker = self._breakers[address]
+        breaker.failures = 0
+        breaker.open_until = 0.0
+        breaker.probing = False
+
+    @staticmethod
+    def _sleep(duration: float) -> None:
+        if duration > 0:
+            time.sleep(duration)
+
+    # -- reply collection ------------------------------------------------
 
     def _collect(self, conn_id: int, seq: int, expect_replies: int,
                  deadline: float) -> Dict[str, Result]:
@@ -142,12 +301,11 @@ class LiveCaller:
             if (header.msg_type is MsgType.REPLY
                     and header.conn_id == conn_id
                     and header.msg_seq_num == seq):
-                # First reply per replica wins.  A retry re-injects the
-                # same invocation, and replicas (which do not dedupe)
-                # execute it again: both executions are internally
-                # consistent, but mixing sender A's first-execution
-                # reply with sender B's second-execution reply would
-                # fake a disagreement.
+                # First reply per replica wins.  A retry re-sends the
+                # same operation id; the gateway deduplicates it, but if
+                # two different gateways both injected it, mixing sender
+                # A's first-execution reply with sender B's second-
+                # execution reply would fake a disagreement.
                 results.setdefault(envelope.sender, envelope.body)
         return results
 

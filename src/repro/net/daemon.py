@@ -28,9 +28,11 @@ what lets ``repro call`` verify the replies are identical).
 from __future__ import annotations
 
 import sys
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
+from .. import obs
 from ..replication.envelope import Envelope
 from ..replication.group import GroupEndpoint, GroupRuntime
 from ..replication.replica import Application
@@ -100,24 +102,77 @@ class DaemonConfig:
     extra_style_kwargs: Dict = field(default_factory=dict)
 
 
-class ClientGateway:
-    """Bridges off-ring callers into the group's total order."""
+M_GW_REQUESTS = obs.REGISTRY.counter(
+    "gateway_requests_total", "client requests injected into the order")
+M_GW_DUPLICATES = obs.REGISTRY.counter(
+    "gateway_duplicate_requests_total",
+    "client retries deduplicated by operation id")
+M_GW_REPLAYED = obs.REGISTRY.counter(
+    "gateway_replies_replayed_total",
+    "recorded replies re-sent to a retrying client")
 
-    def __init__(self, runtime: GroupRuntime, port) -> None:
+#: An operation id as seen by the gateway.
+_OpKey = Tuple[str, int, int]  # (client group, conn_id, seq)
+
+
+class ClientGateway:
+    """Bridges off-ring callers into the group's total order.
+
+    Client retries re-send the same operation id ``(conn_id, seq)``;
+    executing them again would be both wasteful and observable (a second
+    execution returns a *later* group-clock value, so mixing replies
+    across executions could fake staleness or disagreement).  The
+    gateway therefore keeps a bounded idempotency window: a repeated
+    operation id refreshes the reply route and replays the recorded
+    replies instead of re-entering the total order.
+    """
+
+    #: Operation ids remembered for deduplication (oldest evicted first).
+    DEDUP_WINDOW = 512
+
+    def __init__(self, runtime: GroupRuntime, port, *,
+                 node_id: str = "?") -> None:
         self.runtime = runtime
         self.port = port
+        self.node_id = node_id
         #: client group -> last known socket address.
         self.routes: Dict[str, Address] = {}
         self._endpoints: Dict[str, GroupEndpoint] = {}
+        #: operation id -> replies forwarded so far (replayed on retry).
+        self._seen: "OrderedDict[_OpKey, List[Envelope]]" = OrderedDict()
         self.requests_injected = 0
+        self.requests_deduplicated = 0
         self.replies_forwarded = 0
+        self.replies_replayed = 0
 
     def handle(self, frame: LiveFrame) -> None:
         envelope: Envelope = frame.payload
-        client_group = envelope.header.src_grp
+        header = envelope.header
+        client_group = header.src_grp
         self.routes[client_group] = frame.addr
+        key: _OpKey = (client_group, header.conn_id, header.msg_seq_num)
+        recorded = self._seen.get(key)
+        if recorded is not None:
+            # A retry of an operation already in (or through) the order:
+            # do not execute it again — replay what the group already
+            # answered to the refreshed route.
+            self._seen.move_to_end(key)
+            self.requests_deduplicated += 1
+            if obs.REGISTRY.enabled:
+                M_GW_DUPLICATES.inc(node=self.node_id)
+            for reply in recorded:
+                self.port.sendto(frame.addr, reply)
+                self.replies_replayed += 1
+                if obs.REGISTRY.enabled:
+                    M_GW_REPLAYED.inc(node=self.node_id)
+            return
+        self._seen[key] = []
+        while len(self._seen) > self.DEDUP_WINDOW:
+            self._seen.popitem(last=False)
         self._endpoint_for(client_group).mcast(envelope)
         self.requests_injected += 1
+        if obs.REGISTRY.enabled:
+            M_GW_REQUESTS.inc(node=self.node_id)
 
     def _endpoint_for(self, client_group: str) -> GroupEndpoint:
         endpoint = self._endpoints.get(client_group)
@@ -135,6 +190,11 @@ class ClientGateway:
             return
         self.port.sendto(address, envelope)
         self.replies_forwarded += 1
+        header = envelope.header
+        key: _OpKey = (client_group, header.conn_id, header.msg_seq_num)
+        recorded = self._seen.get(key)
+        if recorded is not None:
+            recorded.append(envelope)
 
 
 class NodeDaemon:
@@ -175,7 +235,8 @@ class NodeDaemon:
         # client traffic (ring peers always wrap envelopes in Totem
         # regular messages); everything else is ring traffic.
         totem_receiver = self.node._receiver
-        self.gateway = ClientGateway(self.runtime, self.node.iface)
+        self.gateway = ClientGateway(self.runtime, self.node.iface,
+                                     node_id=config.node_id)
 
         def dispatch(frame: LiveFrame) -> None:
             if isinstance(frame.payload, Envelope):

@@ -48,9 +48,19 @@ class LiveTestbed(TestbedBase):
         clock_epoch_spread_s: float = 10.0,
         clock_drift_ppm_max: float = 50.0,
         bind_host: str = "127.0.0.1",
+        chaos_seed: Optional[int] = None,
     ):
         self.kernel = LiveKernel()
         self.transport = UdpTransport(self.kernel.loop, bind_host=bind_host)
+        #: Fault-injection decorator, present when chaos is requested.
+        self.chaos = None
+        if chaos_seed is not None:
+            # Imported lazily: repro.chaos imports this module's runner
+            # dependencies, so a top-level import would cycle.
+            from ..chaos.transport import ChaosTransport
+
+            self.chaos = ChaosTransport(self.transport, self.kernel,
+                                        seed=chaos_seed)
         ids = list(node_ids) if node_ids else [f"n{i}" for i in range(num_nodes)]
         rng = random.Random(seed)
         nodes = {}
@@ -63,7 +73,7 @@ class LiveTestbed(TestbedBase):
             nodes[node_id] = LiveNode(
                 self.kernel,
                 node_id,
-                self.transport,
+                self.chaos or self.transport,
                 random.Random(rng.random()),
                 clock_epoch_us=epoch_us,
                 clock_drift_ppm=drift_ppm,

@@ -13,14 +13,19 @@ end-to-end latency (Section 4.2).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..errors import RpcTimeout
 from ..replication.envelope import Envelope, MsgType, make_envelope
 from ..replication.group import GroupRuntime
 from ..sim.kernel import Event
 from .messages import Invocation, Result
+
+M_RPC_RETRIES = obs.REGISTRY.counter(
+    "rpc_retries_total", "in-process client re-invocations after timeout")
 
 
 @dataclass
@@ -31,6 +36,8 @@ class ClientStats:
     replies_first: int = 0
     replies_duplicate: int = 0
     timeouts: int = 0
+    #: Re-invocations issued by :meth:`RpcClient.retrying_call`.
+    retries: int = 0
     #: Per-call end-to-end latency in microseconds, by call order.
     latencies_us: list = field(default_factory=list)
 
@@ -52,6 +59,9 @@ class RpcClient:
         self._next_seq: Dict[int, int] = {}
         self._pending: Dict[Tuple[int, int], Event] = {}
         self._answered: set = set()
+        # Deterministic backoff jitter (the kernel itself is seeded, but
+        # the client must not perturb other streams).
+        self._rng = random.Random(f"rpc|{self.group}")
 
     # ------------------------------------------------------------------
     # Invocation
@@ -104,6 +114,42 @@ class RpcClient:
         latency_us = self.node.read_clock_us() - start_us
         self.stats.latencies_us.append(latency_us)
         return result, latency_us
+
+    def retrying_call(
+        self,
+        server_group: str,
+        method: str,
+        *args,
+        timeout: float = 0.25,
+        attempts: int = 4,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+    ):
+        """Generator: invoke with timeout-driven re-invocation.
+
+        Each attempt is a fresh :meth:`call` with its own per-attempt
+        ``timeout``; between attempts the client sleeps an exponentially
+        growing, jittered backoff.  Retries mask a replica crash or a
+        lossy network from the workload — the chaos loadgen runs on
+        this path.  Raises the last :class:`~repro.errors.RpcTimeout`
+        when ``attempts`` are exhausted.
+        """
+        last_error = None
+        for attempt in range(attempts):
+            if attempt:
+                self.stats.retries += 1
+                if obs.REGISTRY.enabled:
+                    M_RPC_RETRIES.inc(node=self.node.node_id)
+                pause = self._rng.uniform(0.5, 1.0) * min(
+                    backoff_base * (2 ** (attempt - 1)), backoff_cap)
+                yield self.sim.timeout(pause)
+            try:
+                result = yield self.call(
+                    server_group, method, *args, timeout=timeout)
+                return result
+            except RpcTimeout as exc:
+                last_error = exc
+        raise last_error
 
     # ------------------------------------------------------------------
     # Internals

@@ -5,14 +5,33 @@ The evaluation and the chaos tests need reproducible fault scenarios —
 "crash n2 at t=1.5 ms, partition {n0,n1} from {n2,n3} at t=4 ms, heal at
 t=9 ms".  A :class:`FaultPlan` captures such a script and arms it on a
 testbed; every injected fault is recorded for the experiment report.
+
+One plan arms against either substrate:
+
+* the simulated :class:`~repro.testbed.Testbed` (crash / recover /
+  partition / heal, injected into the modelled LAN), or
+* a :class:`~repro.net.testbed.LiveTestbed` carrying a
+  :class:`~repro.chaos.transport.ChaosTransport` (``bed.chaos``), which
+  additionally supports the live-only wire impairments — ``drop``,
+  ``delay``, ``duplicate``, ``reorder``, ``isolate``.  Crash and recover
+  map to the live node's stop/restart (the in-process equivalent of
+  stopping and restarting a ``repro serve`` daemon).
+
+Reproducibility: :meth:`FaultPlan.schedule_hash` digests the canonical
+event schedule, so two compilations of the same scenario with the same
+seed are byte-identical — pinned by a regression test.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+
+#: Events that require a chaos-capable (live) testbed.
+LIVE_ONLY_KINDS = frozenset({"drop", "delay", "duplicate", "reorder", "isolate"})
 
 
 @dataclass(frozen=True)
@@ -20,11 +39,23 @@ class FaultEvent:
     """One scheduled fault action."""
 
     at_s: float
-    kind: str       # "crash" | "recover" | "partition" | "heal" | "call"
+    kind: str       # crash|recover|partition|heal|call|drop|delay|duplicate|reorder|isolate
     target: Tuple = ()
 
     def __str__(self) -> str:
         return f"{self.kind}{self.target} @ {self.at_s * 1000:.2f} ms"
+
+    def canonical(self) -> str:
+        """A stable one-line form for hashing and verdict transcripts."""
+        parts = []
+        for item in self.target:
+            if isinstance(item, frozenset):
+                parts.append("{" + ",".join(sorted(item)) + "}")
+            elif callable(item):
+                parts.append(getattr(item, "__name__", "callback"))
+            else:
+                parts.append(repr(item))
+        return f"{self.at_s!r} {self.kind} [{' '.join(parts)}]"
 
 
 class FaultPlan:
@@ -48,7 +79,7 @@ class FaultPlan:
     # -- construction -----------------------------------------------------
 
     def crash(self, node_id: str, *, at: float) -> "FaultPlan":
-        """Fail-stop ``node_id`` at simulated time ``at``."""
+        """Fail-stop ``node_id`` at time ``at``."""
         return self._add(FaultEvent(at, "crash", (node_id,)))
 
     def recover(self, node_id: str, *, at: float) -> "FaultPlan":
@@ -61,12 +92,54 @@ class FaultPlan:
         return self._add(FaultEvent(at, "partition", frozen))
 
     def heal(self, *, at: float) -> "FaultPlan":
-        """Remove all partitions at ``at``."""
+        """Remove all partitions (and live isolation) at ``at``."""
         return self._add(FaultEvent(at, "heal"))
 
     def call(self, fn: Callable[[], None], *, at: float) -> "FaultPlan":
         """Run an arbitrary callback at ``at`` (custom faults)."""
         return self._add(FaultEvent(at, "call", (fn,)))
+
+    # Live-only wire impairments (need a ChaosTransport on the bed).
+
+    def drop(self, rate: float, *, at: float, src: Optional[str] = None,
+             dst: Optional[str] = None) -> "FaultPlan":
+        """From ``at`` on, lose matching frames with probability
+        ``rate`` (``src``/``dst`` of None match every node)."""
+        self._check_rate("drop", rate)
+        return self._add(FaultEvent(at, "drop", (rate, src, dst)))
+
+    def delay(self, delay_s: float, *, at: float, jitter_s: float = 0.0,
+              src: Optional[str] = None, dst: Optional[str] = None) -> "FaultPlan":
+        """From ``at`` on, hold matching frames ``delay_s`` plus uniform
+        jitter in ``[0, jitter_s]``."""
+        if delay_s < 0 or jitter_s < 0:
+            raise ConfigurationError("delay and jitter must be non-negative")
+        return self._add(FaultEvent(at, "delay", (delay_s, jitter_s, src, dst)))
+
+    def duplicate(self, rate: float, *, at: float, src: Optional[str] = None,
+                  dst: Optional[str] = None) -> "FaultPlan":
+        """From ``at`` on, duplicate matching frames with probability
+        ``rate``."""
+        self._check_rate("duplicate", rate)
+        return self._add(FaultEvent(at, "duplicate", (rate, src, dst)))
+
+    def reorder(self, rate: float, *, at: float, window_s: float = 0.01,
+                src: Optional[str] = None, dst: Optional[str] = None) -> "FaultPlan":
+        """From ``at`` on, hold matching frames an extra ``[0, window_s]``
+        with probability ``rate`` so later frames overtake them."""
+        self._check_rate("reorder", rate)
+        return self._add(FaultEvent(at, "reorder", (rate, window_s, src, dst)))
+
+    def isolate(self, node_id: str, *, at: float) -> "FaultPlan":
+        """Cut ``node_id`` off from every peer (both directions) at
+        ``at``; healed by :meth:`heal`."""
+        return self._add(FaultEvent(at, "isolate", (node_id,)))
+
+    @staticmethod
+    def _check_rate(kind: str, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(
+                f"{kind} rate must be in [0, 1], got {rate}")
 
     def _add(self, event: FaultEvent) -> "FaultPlan":
         if self._armed:
@@ -76,57 +149,142 @@ class FaultPlan:
         self.events.append(event)
         return self
 
+    # -- reproducibility pin ----------------------------------------------
+
+    def schedule(self) -> List[FaultEvent]:
+        """The events in injection order (time, then insertion order —
+        matching :meth:`arm`, which uses a stable sort)."""
+        return sorted(self.events, key=lambda e: e.at_s)
+
+    def schedule_hash(self) -> str:
+        """SHA-256 over the canonical schedule.  Two plans with the same
+        events at the same times hash identically, whatever order they
+        were built in — the reproducibility pin for chaos verdicts."""
+        digest = hashlib.sha256()
+        for event in self.schedule():
+            digest.update(event.canonical().encode("utf-8"))
+            digest.update(b"\n")
+        return digest.hexdigest()
+
     # -- execution ----------------------------------------------------------
 
     def arm(self, bed, *, absolute: bool = False) -> "FaultPlan":
-        """Schedule every event on the testbed's simulator.
+        """Schedule every event on the testbed's kernel.
 
         Times are relative to the moment of arming by default; with
         ``absolute=True`` they are absolute kernel times.  Misconfigured
-        plans — unknown node names, absolute times already in the past —
-        are rejected here, before anything is scheduled, rather than
-        failing mid-experiment inside the kernel.
+        plans — unknown node names, absolute times already in the past,
+        overlapping partition components, events targeting nodes that
+        are already crashed at that point of the schedule, live-only
+        events on a bed without a chaos transport — are rejected here,
+        before anything is scheduled, rather than failing mid-experiment
+        inside the kernel.
         """
         if self._armed:
             raise ConfigurationError("fault plan already armed")
         self._validate(bed, absolute)
         self._armed = True
-        for event in sorted(self.events, key=lambda e: e.at_s):
+        for event in self.schedule():
             delay = event.at_s - bed.sim.now if absolute else event.at_s
             bed.sim.schedule(delay, self._inject, bed, event)
         return self
 
     def _validate(self, bed, absolute: bool) -> None:
         known = set(bed.node_ids)
-        for event in self.events:
+        chaos = getattr(bed, "chaos", None)
+        crashed: set = set()
+        for event in self.schedule():
             if absolute and event.at_s < bed.sim.now:
                 raise ConfigurationError(
                     f"fault event {event} lies in the past "
                     f"(kernel time is {bed.sim.now * 1000:.2f} ms)"
                 )
-            if event.kind in ("crash", "recover"):
-                if event.target[0] not in known:
+            if event.kind in LIVE_ONLY_KINDS and chaos is None:
+                raise ConfigurationError(
+                    f"fault event {event} needs a chaos transport; this "
+                    f"testbed has none (live-only event on the simulator?)"
+                )
+            if event.kind in ("crash", "recover", "isolate"):
+                node = event.target[0]
+                if node not in known:
                     raise ConfigurationError(
                         f"fault event {event} targets unknown node "
-                        f"{event.target[0]!r}; nodes are {sorted(known)}"
+                        f"{node!r}; nodes are {sorted(known)}"
+                    )
+                if event.kind == "crash":
+                    if node in crashed:
+                        raise ConfigurationError(
+                            f"fault event {event} crashes {node!r}, which "
+                            f"is already crashed at that point of the plan"
+                        )
+                    crashed.add(node)
+                elif event.kind == "recover":
+                    if node not in crashed:
+                        raise ConfigurationError(
+                            f"fault event {event} recovers {node!r}, which "
+                            f"is not crashed at that point of the plan"
+                        )
+                    crashed.discard(node)
+                elif node in crashed:
+                    raise ConfigurationError(
+                        f"fault event {event} targets {node!r}, which is "
+                        f"already crashed at that point of the plan"
                     )
             elif event.kind == "partition":
-                unknown = set().union(*event.target) - known
+                unknown = set().union(*event.target) - known if event.target else set()
                 if unknown:
                     raise ConfigurationError(
                         f"fault event {event} partitions unknown "
                         f"node(s) {sorted(unknown)}; nodes are {sorted(known)}"
                     )
+                seen: set = set()
+                for component in event.target:
+                    overlap = seen & component
+                    if overlap:
+                        raise ConfigurationError(
+                            f"fault event {event} lists node(s) "
+                            f"{sorted(overlap)} in more than one partition "
+                            f"component; components must be disjoint"
+                        )
+                    seen |= component
+            elif event.kind in ("drop", "delay", "duplicate", "reorder"):
+                for endpoint in event.target[-2:]:
+                    if endpoint is not None and endpoint not in known:
+                        raise ConfigurationError(
+                            f"fault event {event} names unknown node "
+                            f"{endpoint!r}; nodes are {sorted(known)}"
+                        )
 
     def _inject(self, bed, event: FaultEvent) -> None:
+        chaos = getattr(bed, "chaos", None)
         if event.kind == "crash":
             bed.crash(event.target[0])
         elif event.kind == "recover":
             bed.recover(event.target[0])
         elif event.kind == "partition":
-            bed.cluster.network.partition(*event.target)
+            if chaos is not None:
+                chaos.partition(*event.target)
+            else:
+                bed.cluster.network.partition(*event.target)
         elif event.kind == "heal":
-            bed.cluster.network.heal()
+            if chaos is not None:
+                chaos.heal()
+            else:
+                bed.cluster.network.heal()
+        elif event.kind == "drop":
+            rate, src, dst = event.target
+            chaos.set_drop(rate, src=src, dst=dst)
+        elif event.kind == "delay":
+            delay_s, jitter_s, src, dst = event.target
+            chaos.set_delay(delay_s, jitter_s=jitter_s, src=src, dst=dst)
+        elif event.kind == "duplicate":
+            rate, src, dst = event.target
+            chaos.set_duplicate(rate, src=src, dst=dst)
+        elif event.kind == "reorder":
+            rate, window_s, src, dst = event.target
+            chaos.set_reorder(rate, window_s=window_s, src=src, dst=dst)
+        elif event.kind == "isolate":
+            chaos.isolate(event.target[0])
         elif event.kind == "call":
             event.target[0]()
         self.injected.append(event)

@@ -18,6 +18,7 @@ from .loadgen import (
     percentile,
     record_benchmark,
     run_loadgen,
+    run_loadgen_chaos,
     run_loadgen_comparison,
 )
 from .recovery import RecoveryClockApp, RecoveryResult, run_recovery_workload
@@ -56,6 +57,7 @@ __all__ = [
     "record_benchmark",
     "run_latency_workload",
     "run_loadgen",
+    "run_loadgen_chaos",
     "run_loadgen_comparison",
     "run_recovery_workload",
     "run_skew_drift_workload",

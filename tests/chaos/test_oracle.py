@@ -1,0 +1,193 @@
+"""InvariantOracle: each invariant class flags exactly when violated."""
+
+from repro import trace
+from repro.chaos.oracle import InvariantOracle
+
+
+def checks(oracle):
+    return [v.check for v in oracle.violations]
+
+
+class TestMonotonicity:
+    def test_increasing_values_pass(self):
+        oracle = InvariantOracle()
+        for i, value in enumerate([100, 200, 300]):
+            oracle.observe_reply("c0", value, wall_s=i * 1e-4)
+        assert oracle.ok
+        assert oracle.replies_checked == 3
+
+    def test_rollback_flagged(self):
+        oracle = InvariantOracle()
+        oracle.observe_reply("c0", 200, wall_s=0.0)
+        oracle.observe_reply("c0", 150, wall_s=0.001)
+        assert checks(oracle) == ["monotonicity"]
+        assert oracle.violations[0].subject == "c0"
+
+    def test_repeat_flagged(self):
+        oracle = InvariantOracle()
+        oracle.observe_reply("c0", 200, wall_s=0.0)
+        oracle.observe_reply("c0", 200, wall_s=0.001)
+        assert checks(oracle) == ["monotonicity"]
+
+    def test_clients_are_independent(self):
+        oracle = InvariantOracle()
+        oracle.observe_reply("c0", 200, wall_s=0.0)
+        oracle.observe_reply("c1", 100, wall_s=0.001)  # lower, other client
+        assert oracle.ok
+
+
+class TestStaleness:
+    def test_wall_rate_advance_passes(self):
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.001)
+        # 50 ms later the value advanced ~50 ms: inside every slack term.
+        oracle.observe_reply("c0", 1_050_500, wall_s=10.05, rtt_s=0.001)
+        assert oracle.ok
+
+    def test_value_jumping_ahead_of_wall_flagged(self):
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0)
+        # 10 ms of wall time, 5 s of value time: far past any slack.
+        oracle.observe_reply("c0", 6_000_000, wall_s=10.01)
+        assert checks(oracle) == ["staleness"]
+
+    def test_value_stalling_behind_wall_flagged(self):
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0)
+        # 10 s of wall time, 1 us of value time: the clock stalled.
+        oracle.observe_reply("c0", 1_000_001, wall_s=20.0)
+        assert checks(oracle) == ["staleness"]
+
+    def test_rtt_widens_the_slack(self):
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.5)
+        # The value runs 400 ms ahead of the 100 ms wall gap — fine when
+        # both calls spent up to half a second in flight.
+        oracle.observe_reply("c0", 1_500_000, wall_s=10.1, rtt_s=0.5)
+        assert oracle.ok
+
+
+class TestAgreement:
+    def test_identical_commits_pass(self):
+        oracle = InvariantOracle().attach()
+        try:
+            trace.emit("round.complete", "n0",
+                       thread="t", round=1, group_us=500, offset_us=5)
+            trace.emit("round.complete", "n1",
+                       thread="t", round=1, group_us=500, offset_us=7)
+        finally:
+            oracle.detach()
+        assert oracle.ok
+        assert oracle.rounds_checked == 2
+
+    def test_divergent_commit_flagged(self):
+        oracle = InvariantOracle().attach()
+        try:
+            trace.emit("round.complete", "n0",
+                       thread="t", round=1, group_us=500)
+            trace.emit("round.complete", "n1",
+                       thread="t", round=1, group_us=501)
+        finally:
+            oracle.detach()
+        assert checks(oracle) == ["agreement"]
+        assert oracle.violations[0].subject == "n1"
+
+    def test_distinct_rounds_do_not_collide(self):
+        oracle = InvariantOracle().attach()
+        try:
+            trace.emit("round.complete", "n0",
+                       thread="t", round=1, group_us=500)
+            trace.emit("round.complete", "n0",
+                       thread="t", round=2, group_us=900)
+            trace.emit("round.complete", "n0",
+                       thread="u", round=1, group_us=777)
+        finally:
+            oracle.detach()
+        assert oracle.ok
+
+    def test_other_trace_kinds_ignored(self):
+        oracle = InvariantOracle().attach()
+        try:
+            trace.emit("round.start", "n0", thread="t", round=1)
+        finally:
+            oracle.detach()
+        assert oracle.rounds_checked == 0
+
+
+class _FakeState:
+    def __init__(self, history):
+        self.history = history
+
+
+class _FakeSource:
+    def __init__(self, history):
+        self.clock_state = _FakeState(history)
+
+
+class _FakeReplica:
+    def __init__(self, history):
+        self.time_source = _FakeSource(history)
+
+
+class _FakeBed:
+    """Just enough testbed for finish(): services + replicas()."""
+
+    def __init__(self, replicas):
+        self.services = {"svc": object()}
+        self._replicas = replicas
+
+    def replicas(self, group):
+        return self._replicas
+
+
+class TestFinish:
+    def test_exact_offsets_pass(self):
+        bed = _FakeBed({"n0": _FakeReplica([(1_000, 400, 600),
+                                            (2_000, 1_100, 900)])})
+        oracle = InvariantOracle()
+        oracle.finish(bed, group="svc")
+        assert oracle.ok
+
+    def test_broken_offset_identity_flagged(self):
+        bed = _FakeBed({"n0": _FakeReplica([(1_000, 400, 601)])})
+        oracle = InvariantOracle()
+        oracle.finish(bed, group="svc")
+        assert checks(oracle) == ["offset"]
+        assert oracle.violations[0].subject == "n0"
+
+    def test_recovered_node_without_new_rounds_flagged(self):
+        oracle = InvariantOracle().attach()
+        try:
+            trace.emit("round.complete", "n1",
+                       thread="t", round=1, group_us=500)
+            oracle.note_recovery("n1")
+        finally:
+            pass
+        oracle.finish()  # detaches
+        assert checks(oracle) == ["recovery"]
+
+    def test_recovered_node_with_new_round_passes(self):
+        oracle = InvariantOracle().attach()
+        try:
+            oracle.note_recovery("n1")
+            trace.emit("round.complete", "n1",
+                       thread="t", round=1, group_us=500)
+        finally:
+            pass
+        oracle.finish()
+        assert oracle.ok
+
+
+class TestReport:
+    def test_report_shape(self):
+        oracle = InvariantOracle()
+        oracle.observe_reply("c0", 10, wall_s=0.0)
+        oracle.observe_reply("c0", 5, wall_s=0.001)
+        report = oracle.report()
+        assert report["ok"] is False
+        assert report["replies_checked"] == 2
+        assert report["clients"] == 1
+        assert report["violations"][0]["check"] == "monotonicity"
+        # Violations are JSON-able (transcripts are repr'd strings).
+        assert all(isinstance(entry, str)
+                   for entry in report["violations"][0]["transcript"])

@@ -1,0 +1,188 @@
+"""Scenario files: the YAML-subset parser, validation, and the
+compile-to-FaultPlan path with its reproducibility pin."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.scenario import (
+    ChaosScenario,
+    compile_plan,
+    load_scenario,
+    parse_simple_yaml,
+    scenario_from_dict,
+)
+from repro.errors import ConfigurationError
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "chaos_partition.yaml"
+
+#: The committed scenario's seeded schedule digest.  If this changes,
+#: every recorded chaos verdict stops being reproducible — update the
+#: EXPERIMENTS.md entry in the same commit, or don't change the hash.
+EXAMPLE_SCHEDULE_HASH = (
+    "f49fc35322afb80ab08a11bc06987fdaa54e9ef93b8c8ed77eb9766abdc8fc0f")
+
+
+class TestYamlSubset:
+    def test_scalars(self):
+        doc = parse_simple_yaml(
+            "a: 1\nb: 2.5\nc: true\nd: false\ne: null\nf: hello\n"
+            "g: 'quoted: text'\n")
+        assert doc == {"a": 1, "b": 2.5, "c": True, "d": False, "e": None,
+                       "f": "hello", "g": "quoted: text"}
+
+    def test_comments_and_blank_lines(self):
+        doc = parse_simple_yaml(
+            "# leading comment\n\na: 1  # trailing\nb: 'kept # inside'\n")
+        assert doc == {"a": 1, "b": "kept # inside"}
+
+    def test_flow_lists_nest(self):
+        doc = parse_simple_yaml("p: [[n0, n1], [n2]]\n")
+        assert doc == {"p": [["n0", "n1"], ["n2"]]}
+
+    def test_block_list_of_scalars(self):
+        doc = parse_simple_yaml("xs:\n  - 1\n  - two\n  - 3.0\n")
+        assert doc == {"xs": [1, "two", 3.0]}
+
+    def test_block_list_of_mappings_with_continuation(self):
+        doc = parse_simple_yaml(
+            "events:\n"
+            "  - at: 1.0\n"
+            "    drop: 0.05\n"
+            "  - at: 2.0\n"
+            "    partition: [[n0], [n1]]\n")
+        assert doc == {"events": [
+            {"at": 1.0, "drop": 0.05},
+            {"at": 2.0, "partition": [["n0"], ["n1"]]},
+        ]}
+
+    def test_nested_mapping(self):
+        doc = parse_simple_yaml("outer:\n  inner: 1\n  other: 2\n")
+        assert doc == {"outer": {"inner": 1, "other": 2}}
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate key"):
+            parse_simple_yaml("a: 1\na: 2\n")
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(ConfigurationError, match="tabs"):
+            parse_simple_yaml("a:\n\tb: 1\n")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(ConfigurationError, match="key: value"):
+            parse_simple_yaml("just some words\n")
+
+
+class TestScenarioValidation:
+    def base(self, **overrides):
+        data = {"name": "t", "nodes": 3, "duration": 5.0, "clients": 1,
+                "events": [{"at": 1.0, "crash": "n0"}]}
+        data.update(overrides)
+        return data
+
+    def test_int_nodes_expand_to_ids(self):
+        scenario = scenario_from_dict(self.base(nodes=4))
+        assert scenario.node_ids == ["n0", "n1", "n2", "n3"]
+
+    def test_explicit_node_list_kept(self):
+        scenario = scenario_from_dict(self.base(nodes=["a", "b"]))
+        assert scenario.node_ids == ["a", "b"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario key"):
+            scenario_from_dict(self.base(chaos_level=11))
+
+    def test_bad_nodes_rejected(self):
+        with pytest.raises(ConfigurationError, match="nodes"):
+            scenario_from_dict(self.base(nodes=0))
+        with pytest.raises(ConfigurationError, match="nodes"):
+            scenario_from_dict(self.base(nodes=[1, 2]))
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            scenario_from_dict(self.base(duration=0))
+
+    def test_bad_clients_rejected(self):
+        with pytest.raises(ConfigurationError, match="clients"):
+            scenario_from_dict(self.base(clients=0))
+
+    def test_event_missing_at_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing 'at'"):
+            scenario_from_dict(self.base(events=[{"crash": "n0"}]))
+
+    def test_event_needs_exactly_one_kind(self):
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            scenario_from_dict(self.base(events=[{"at": 1.0}]))
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            scenario_from_dict(
+                self.base(events=[{"at": 1.0, "crash": "n0", "heal": True}]))
+
+    def test_non_mapping_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            scenario_from_dict([1, 2, 3])
+
+
+class TestCompile:
+    def test_example_compiles_to_expected_kinds(self):
+        scenario = load_scenario(EXAMPLE)
+        plan = compile_plan(scenario)
+        assert [e.kind for e in plan.schedule()] == [
+            "drop", "partition", "heal", "crash", "recover"]
+
+    def test_partition_must_be_list_of_lists(self):
+        scenario = scenario_from_dict({
+            "events": [{"at": 1.0, "partition": ["n0", "n1"]}]})
+        with pytest.raises(ConfigurationError, match="list of node lists"):
+            compile_plan(scenario)
+
+    def test_compile_error_names_the_event(self):
+        scenario = scenario_from_dict({"events": [{"at": 1.0, "drop": 1.5}]})
+        with pytest.raises(ConfigurationError, match="event #0"):
+            compile_plan(scenario)
+
+    def test_json_scenario_loads(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({
+            "name": "from-json", "nodes": 2, "duration": 1.0,
+            "events": [{"at": 0.5, "crash": "n0"}]}))
+        scenario = load_scenario(path)
+        assert scenario.name == "from-json"
+        assert compile_plan(scenario).schedule()[0].kind == "crash"
+
+
+class TestReproducibilityPin:
+    def test_example_schedule_hash_is_pinned(self):
+        plan = compile_plan(load_scenario(EXAMPLE))
+        assert plan.schedule_hash() == EXAMPLE_SCHEDULE_HASH
+
+    def test_recompilation_is_byte_identical(self):
+        first = compile_plan(load_scenario(EXAMPLE))
+        second = compile_plan(load_scenario(EXAMPLE))
+        assert ([e.canonical() for e in first.schedule()]
+                == [e.canonical() for e in second.schedule()])
+        assert first.schedule_hash() == second.schedule_hash()
+
+    def test_json_equivalent_hashes_identically(self, tmp_path):
+        scenario = load_scenario(EXAMPLE)
+        path = tmp_path / "same.json"
+        path.write_text(json.dumps({
+            "name": scenario.name,
+            "nodes": scenario.n_nodes,
+            "duration": scenario.duration_s,
+            "clients": scenario.clients,
+            "events": scenario.events,
+        }))
+        assert (compile_plan(load_scenario(path)).schedule_hash()
+                == EXAMPLE_SCHEDULE_HASH)
+
+    def test_hash_sees_every_event_change(self):
+        base = ChaosScenario("t", ["n0", "n1"], 1.0,
+                             events=[{"at": 1.0, "drop": 0.05}])
+        moved = ChaosScenario("t", ["n0", "n1"], 1.0,
+                              events=[{"at": 1.5, "drop": 0.05}])
+        retuned = ChaosScenario("t", ["n0", "n1"], 1.0,
+                                events=[{"at": 1.0, "drop": 0.06}])
+        hashes = {compile_plan(s).schedule_hash()
+                  for s in (base, moved, retuned)}
+        assert len(hashes) == 3

@@ -1,0 +1,180 @@
+"""LiveCaller under hostile servers: deadline budgeting, retries with a
+stable operation id, and the per-server circuit breaker.
+
+The "servers" here are bare UDP sockets — a black hole that never
+answers and a scripted responder — so each retry-path property is pinned
+without booting a ring.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import RpcTimeout
+from repro.net.client import LiveCaller
+from repro.net.wire import decode_frame, encode_frame
+from repro.replication.envelope import MsgType, make_envelope
+from repro.rpc.messages import Result
+
+pytestmark = pytest.mark.live
+
+
+class BlackHole:
+    """A bound port that swallows everything."""
+
+    def __init__(self):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.address = self.sock.getsockname()
+
+    def close(self):
+        self.sock.close()
+
+
+class Responder:
+    """Replies to well-formed requests, optionally deaf to the first N.
+
+    Records the operation id ``(conn_id, seq)`` of every request it
+    sees, so tests can assert that retries re-send the same id.
+    """
+
+    def __init__(self, *, ignore_first: int = 0, name: str = "s0"):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.settimeout(0.05)
+        self.address = self.sock.getsockname()
+        self.ignore_first = ignore_first
+        self.name = name
+        self.seen = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        value = 0
+        while not self._stop.is_set():
+            try:
+                data, addr = self.sock.recvfrom(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            _src, envelope = decode_frame(data)
+            header = envelope.header
+            self.seen.append((header.conn_id, header.msg_seq_num))
+            if len(self.seen) <= self.ignore_first:
+                continue
+            value += 1
+            reply = make_envelope(
+                MsgType.REPLY, header.dst_grp, header.src_grp,
+                header.conn_id, header.msg_seq_num, self.name,
+                body=Result(value=value))
+            self.sock.sendto(encode_frame(self.name, reply), addr)
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+        self.sock.close()
+
+
+class TestDeadlineBudget:
+    def test_black_holed_first_server_cannot_starve_the_rest(self):
+        """The call budget is one monotonic deadline split across the
+        untried servers — not a fixed per-server floor — so a dead first
+        address still leaves the live one enough time to answer."""
+        hole, responder = BlackHole(), Responder()
+        try:
+            with LiveCaller([hole.address, responder.address],
+                            client_id="budget") as caller:
+                started = time.monotonic()
+                outcome = caller.call("gettimeofday", timeout=2.0)
+                elapsed = time.monotonic() - started
+            assert outcome.first().ok
+            assert outcome.via == responder.address
+            assert outcome.attempts >= 2
+            assert elapsed < 2.0  # answered within the budget, not at it
+        finally:
+            hole.close()
+            responder.close()
+
+    def test_exhausted_deadline_raises_rpc_timeout(self):
+        hole = BlackHole()
+        try:
+            with LiveCaller([hole.address], client_id="doomed") as caller:
+                started = time.monotonic()
+                with pytest.raises(RpcTimeout, match="attempts"):
+                    caller.call("gettimeofday", timeout=0.3)
+                elapsed = time.monotonic() - started
+            assert 0.25 <= elapsed < 1.5  # respected the deadline
+        finally:
+            hole.close()
+
+
+class TestRetries:
+    def test_retries_resend_the_same_operation_id(self):
+        """Every re-send carries the original ``(conn_id, seq)`` so the
+        gateway can deduplicate instead of executing twice.  Listing the
+        same server twice makes the first attempt time out (the deaf
+        window) and the retry succeed — both observed by one socket."""
+        responder = Responder(ignore_first=1)
+        try:
+            with LiveCaller([responder.address, responder.address],
+                            client_id="sameop") as caller:
+                outcome = caller.call("gettimeofday", timeout=3.0)
+                stats = caller.stats
+            assert outcome.first().ok
+            assert outcome.attempts >= 2
+            assert stats.retries >= 1
+            assert len(responder.seen) >= 2
+            assert len(set(responder.seen)) == 1  # one op id throughout
+        finally:
+            responder.close()
+
+    def test_sequential_calls_use_fresh_operation_ids(self):
+        responder = Responder()
+        try:
+            with LiveCaller([responder.address], client_id="fresh") as caller:
+                caller.call("gettimeofday", timeout=2.0)
+                caller.call("gettimeofday", timeout=2.0)
+            assert len(set(responder.seen)) == len(responder.seen) == 2
+        finally:
+            responder.close()
+
+
+class TestCircuitBreaker:
+    def test_repeated_timeouts_open_the_breaker(self):
+        """Three consecutive dead calls trip the breaker; the next call
+        records the skip (and still probes rather than failing fast)."""
+        hole = BlackHole()
+        try:
+            with LiveCaller([hole.address], client_id="breaker") as caller:
+                for _ in range(LiveCaller.BREAKER_THRESHOLD):
+                    with pytest.raises(RpcTimeout):
+                        caller.call("gettimeofday", timeout=0.15)
+                assert caller.stats.breaker_skips == 0
+                with pytest.raises(RpcTimeout):
+                    caller.call("gettimeofday", timeout=0.2)
+                assert caller.stats.breaker_skips > 0
+                assert caller.stats.failures == LiveCaller.BREAKER_THRESHOLD + 1
+        finally:
+            hole.close()
+
+    def test_breaker_recovers_after_cooldown_probe(self):
+        responder = Responder(ignore_first=LiveCaller.BREAKER_THRESHOLD)
+        try:
+            with LiveCaller([responder.address],
+                            client_id="halfopen") as caller:
+                # Enough dead calls against the deaf window to trip the
+                # breaker...
+                for _ in range(LiveCaller.BREAKER_THRESHOLD):
+                    with pytest.raises(RpcTimeout):
+                        caller.call("gettimeofday", timeout=0.2)
+                # ...then the cooldown elapses and the half-open probe
+                # finds the server answering again.
+                time.sleep(LiveCaller.BREAKER_COOLDOWN + 0.05)
+                outcome = caller.call("gettimeofday", timeout=2.0)
+            assert outcome.first().ok
+        finally:
+            responder.close()

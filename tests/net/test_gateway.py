@@ -1,0 +1,113 @@
+"""ClientGateway idempotency: retries replay, they never re-execute."""
+
+from repro.net.daemon import ClientGateway
+from repro.net.udp import LiveFrame
+from repro.replication.envelope import MsgType, make_envelope
+from repro.rpc.messages import Invocation, Result
+
+
+class FakeEndpoint:
+    def __init__(self):
+        self.joined = False
+        self.mcasts = []
+        self.on_message = None
+
+    def join(self):
+        self.joined = True
+
+    def mcast(self, envelope):
+        self.mcasts.append(envelope)
+
+
+class FakeRuntime:
+    def __init__(self):
+        self.endpoints = {}
+
+    def endpoint(self, group):
+        endpoint = self.endpoints.setdefault(group, FakeEndpoint())
+        return endpoint
+
+
+class FakePort:
+    def __init__(self):
+        self.sent = []  # (addr, envelope)
+
+    def sendto(self, addr, envelope):
+        self.sent.append((addr, envelope))
+
+
+def request(seq, conn_id=1, client="c1"):
+    return make_envelope(MsgType.REQUEST, f"client.{client}", "timesvc",
+                         conn_id, seq, client,
+                         body=Invocation("gettimeofday", ()))
+
+
+def reply(seq, conn_id=1, client="c1", sender="n0", value=123):
+    return make_envelope(MsgType.REPLY, "timesvc", f"client.{client}",
+                         conn_id, seq, sender, body=Result(value=value))
+
+
+ADDR_A = ("127.0.0.1", 40001)
+ADDR_B = ("127.0.0.1", 40002)
+
+
+def make_gateway():
+    runtime, port = FakeRuntime(), FakePort()
+    return ClientGateway(runtime, port, node_id="n0"), runtime, port
+
+
+class TestGatewayDedup:
+    def test_first_request_enters_the_order(self):
+        gateway, runtime, port = make_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        endpoint = runtime.endpoints["client.c1"]
+        assert endpoint.joined
+        assert len(endpoint.mcasts) == 1
+        assert gateway.requests_injected == 1
+        assert gateway.requests_deduplicated == 0
+
+    def test_retry_of_inflight_op_is_not_reinjected(self):
+        gateway, runtime, port = make_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))  # retry
+        assert len(runtime.endpoints["client.c1"].mcasts) == 1
+        assert gateway.requests_deduplicated == 1
+        assert port.sent == []  # nothing answered yet, nothing to replay
+
+    def test_retry_after_reply_replays_the_recorded_answer(self):
+        gateway, runtime, port = make_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        answer = reply(1)
+        runtime.endpoints["client.c1"].on_message(answer)
+        assert port.sent == [(ADDR_A, answer)]
+
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))  # retry
+        assert len(runtime.endpoints["client.c1"].mcasts) == 1  # no re-exec
+        assert port.sent == [(ADDR_A, answer), (ADDR_A, answer)]
+        assert gateway.replies_replayed == 1
+        assert gateway.replies_forwarded == 1
+
+    def test_retry_refreshes_the_reply_route(self):
+        gateway, runtime, port = make_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        runtime.endpoints["client.c1"].on_message(reply(1))
+        # The client rebound its socket; the retry carries the new addr.
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_B))
+        assert port.sent[-1][0] == ADDR_B
+
+    def test_distinct_ops_are_not_confused(self):
+        gateway, runtime, port = make_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        gateway.handle(LiveFrame("c1", request(2), 64, ADDR_A))
+        gateway.handle(LiveFrame("c1", request(2, conn_id=2), 64, ADDR_A))
+        assert len(runtime.endpoints["client.c1"].mcasts) == 3
+        assert gateway.requests_deduplicated == 0
+
+    def test_window_eviction_forgets_oldest(self):
+        gateway, runtime, port = make_gateway()
+        for seq in range(1, ClientGateway.DEDUP_WINDOW + 2):
+            gateway.handle(LiveFrame("c1", request(seq), 64, ADDR_A))
+        # seq 1 was evicted: its retry is treated as new and re-injected.
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        assert gateway.requests_deduplicated == 0
+        assert gateway.requests_injected == ClientGateway.DEDUP_WINDOW + 2

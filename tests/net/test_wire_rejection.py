@@ -1,0 +1,109 @@
+"""Hostile datagrams against a live UDP port.
+
+A bound port is exposed to arbitrary traffic; every malformed datagram —
+truncation, foreign magic, stale wire versions, length lies — must be
+counted and dropped without ever raising into the event loop.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro import obs
+from repro.net.kernel import LiveKernel
+from repro.net.udp import UdpTransport
+from repro.net.wire import HEADER_SIZE, MAGIC, WIRE_VERSION, encode_frame
+
+pytestmark = pytest.mark.live
+
+
+@pytest.fixture
+def live_port():
+    kernel = LiveKernel()
+    transport = UdpTransport(kernel.loop)
+    received = []
+    port = transport.attach("n0", received.append)
+    probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        yield kernel, port, probe, received
+    finally:
+        probe.close()
+        transport.close()
+        kernel.close()
+
+
+def pump(kernel, seconds=0.1):
+    kernel.run(until=kernel.now + seconds)
+
+
+def valid_frame():
+    return encode_frame("stranger", {"kind": "probe"})
+
+
+class TestFrameRejection:
+    def test_truncated_header_is_counted_not_raised(self, live_port):
+        kernel, port, probe, received = live_port
+        probe.sendto(b"CT", port.address)                    # 2 of 7 bytes
+        probe.sendto(valid_frame()[: HEADER_SIZE - 1], port.address)
+        pump(kernel)
+        assert port.frames_rejected == 2
+        assert received == []
+
+    def test_wrong_wire_version_rejected(self, live_port):
+        kernel, port, probe, received = live_port
+        data = bytearray(valid_frame())
+        data[2] = WIRE_VERSION + 1
+        probe.sendto(bytes(data), port.address)
+        pump(kernel)
+        assert port.frames_rejected == 1
+        assert received == []
+
+    def test_foreign_magic_rejected(self, live_port):
+        kernel, port, probe, received = live_port
+        data = bytearray(valid_frame())
+        data[0:2] = b"XX"
+        probe.sendto(bytes(data), port.address)
+        pump(kernel)
+        assert port.frames_rejected == 1
+
+    def test_length_mismatch_rejected(self, live_port):
+        kernel, port, probe, received = live_port
+        oversized = valid_frame() + b"trailing-garbage"
+        truncated_body = valid_frame()[:-3]
+        probe.sendto(oversized, port.address)
+        probe.sendto(truncated_body, port.address)
+        pump(kernel)
+        assert port.frames_rejected == 2
+        assert received == []
+
+    def test_header_lying_about_length_rejected(self, live_port):
+        kernel, port, probe, received = live_port
+        body = b"\x00" * 16
+        lying = MAGIC + bytes([WIRE_VERSION]) + struct.pack("<I", 9999) + body
+        probe.sendto(lying, port.address)
+        pump(kernel)
+        assert port.frames_rejected == 1
+
+    def test_valid_frame_still_delivered_after_garbage(self, live_port):
+        kernel, port, probe, received = live_port
+        probe.sendto(b"\x00", port.address)
+        probe.sendto(valid_frame(), port.address)
+        pump(kernel)
+        assert port.frames_rejected == 1
+        assert port.frames_received == 1
+        assert len(received) == 1
+        assert received[0].src == "stranger"
+
+    def test_rejections_land_in_the_metrics_registry(self, live_port):
+        kernel, port, probe, received = live_port
+        counter = obs.REGISTRY.counter("udp_datagrams_rejected_total")
+        obs.REGISTRY.enable()
+        try:
+            before = counter.value(node="n0")
+            probe.sendto(b"CT", port.address)
+            pump(kernel)
+            after = counter.value(node="n0")
+        finally:
+            obs.REGISTRY.disable()
+        assert after == before + 1

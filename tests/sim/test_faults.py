@@ -68,6 +68,61 @@ class TestValidation:
         # The plan stays un-armed, so it can be fixed and re-armed.
         assert not plan._armed
 
+    def test_overlapping_partition_components_rejected(self):
+        bed = make_testbed(seed=168)
+        plan = FaultPlan().partition({"n0", "n1"}, {"n1", "n2"}, at=0.01)
+        with pytest.raises(ConfigurationError,
+                           match="more than one partition component"):
+            plan.arm(bed)
+
+    def test_crash_of_already_crashed_node_rejected(self):
+        bed = make_testbed(seed=168)
+        plan = FaultPlan().crash("n1", at=0.01).crash("n1", at=0.02)
+        with pytest.raises(ConfigurationError, match="already crashed"):
+            plan.arm(bed)
+
+    def test_recover_of_never_crashed_node_rejected(self):
+        bed = make_testbed(seed=168)
+        plan = FaultPlan().recover("n1", at=0.01)
+        with pytest.raises(ConfigurationError, match="not crashed"):
+            plan.arm(bed)
+
+    def test_crash_recover_crash_cycle_is_legal(self):
+        bed = make_testbed(seed=168)
+        plan = (FaultPlan()
+                .crash("n1", at=0.01)
+                .recover("n1", at=0.02)
+                .crash("n1", at=0.03))
+        plan.arm(bed)  # must not raise
+        assert len(plan.events) == 3
+
+    def test_live_only_event_rejected_on_simulated_bed(self):
+        bed = make_testbed(seed=168)
+        plan = FaultPlan().drop(0.1, at=0.01)
+        with pytest.raises(ConfigurationError, match="chaos transport"):
+            plan.arm(bed)
+
+    def test_event_on_crashed_node_rejected(self):
+        bed = make_testbed(seed=168)
+        # Validation-only stand-in for a chaos transport, so the
+        # live-only gate admits `isolate` and the crashed-node check runs.
+        bed.chaos = object()
+        plan = FaultPlan().crash("n1", at=0.01).isolate("n1", at=0.02)
+        with pytest.raises(ConfigurationError, match="already crashed"):
+            plan.arm(bed)
+
+    def test_rates_must_be_probabilities(self):
+        for build in (
+            lambda p: p.drop(1.5, at=0.01),
+            lambda p: p.drop(-0.1, at=0.01),
+            lambda p: p.duplicate(2.0, at=0.01),
+            lambda p: p.reorder(-1.0, at=0.01),
+        ):
+            with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+                build(FaultPlan())
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            FaultPlan().delay(-0.5, at=0.01)
+
     def test_absolute_time_in_past_rejected(self):
         bed = make_testbed(seed=167)
         bed.run(0.1)
@@ -84,6 +139,52 @@ class TestValidation:
         bed.run(0.1)
         assert fired == [pytest.approx(0.15)]
         assert plan.done
+
+
+class TestReproducibility:
+    @staticmethod
+    def forward():
+        return (FaultPlan()
+                .drop(0.05, at=1.0)
+                .partition({"n0", "n1"}, {"n2"}, at=2.5)
+                .heal(at=4.5)
+                .crash("n0", at=5.5)
+                .recover("n0", at=7.5))
+
+    def test_build_order_does_not_change_the_hash(self):
+        shuffled = (FaultPlan()
+                    .recover("n0", at=7.5)
+                    .heal(at=4.5)
+                    .crash("n0", at=5.5)
+                    .drop(0.05, at=1.0)
+                    .partition({"n0", "n1"}, {"n2"}, at=2.5))
+        assert self.forward().schedule_hash() == shuffled.schedule_hash()
+
+    def test_hash_is_stable_across_instances(self):
+        assert self.forward().schedule_hash() == self.forward().schedule_hash()
+
+    def test_any_event_change_changes_the_hash(self):
+        base = self.forward().schedule_hash()
+        later = (FaultPlan()
+                 .drop(0.05, at=1.1)
+                 .partition({"n0", "n1"}, {"n2"}, at=2.5)
+                 .heal(at=4.5)
+                 .crash("n0", at=5.5)
+                 .recover("n0", at=7.5))
+        assert later.schedule_hash() != base
+
+    def test_partition_member_order_is_canonicalized(self):
+        a = FaultPlan().partition({"n1", "n0"}, {"n2"}, at=1.0)
+        b = FaultPlan().partition({"n0", "n1"}, {"n2"}, at=1.0)
+        assert a.schedule_hash() == b.schedule_hash()
+
+    def test_schedule_is_sorted_by_time_stably(self):
+        plan = (FaultPlan()
+                .heal(at=0.5)
+                .crash("n1", at=0.1)
+                .partition({"n0"}, {"n1"}, at=0.1))
+        assert [e.kind for e in plan.schedule()] == [
+            "crash", "partition", "heal"]
 
 
 class TestInjection:

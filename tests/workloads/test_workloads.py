@@ -153,3 +153,30 @@ class TestThroughputWorkload:
             [500, 1_000], time_source="local", duration_s=0.05, seed=4
         )
         assert sorted(sweep) == [500, 1_000]
+
+
+class TestLoadgenChaos:
+    def test_faults_on_point_stays_bounded(self):
+        # A lossy wire plus a crash/recover cycle mid-window: the retry
+        # path (same operation id, jittered backoff) must keep the
+        # client-visible error rate bounded while throughput continues.
+        from repro.workloads import run_loadgen_chaos
+
+        result = run_loadgen_chaos(
+            concurrency=8, duration_s=0.4, seed=5, loss_rate=0.02)
+        assert result.mode == "chaos"
+        assert result.completed > 0
+        total = result.completed + result.errors
+        assert result.errors / total <= 0.05
+        assert result.ops_coalesced > 0
+        assert result.rounds_completed > 0
+
+    def test_chaos_point_lands_in_benchmark_file(self, tmp_path):
+        from repro.workloads import record_benchmark, run_loadgen_chaos
+
+        result = run_loadgen_chaos(
+            concurrency=4, duration_s=0.2, seed=5, loss_rate=0.01)
+        path = tmp_path / "bench.json"
+        doc = record_benchmark(path, {result.mode: result})
+        assert doc["runs"][-1]["modes"]["chaos"]["completed"] > 0
+        assert "retries" in doc["runs"][-1]["modes"]["chaos"]
