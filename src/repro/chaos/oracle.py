@@ -43,6 +43,12 @@ class Violation:
     subject: str        # client id or node id
     detail: str
     transcript: List[Any] = field(default_factory=list)
+    #: Trace ids of the operations around the violation (the subject's
+    #: recent calls first, then other recent traffic) — join keys into
+    #: the cross-node timelines of :mod:`repro.obs.crossnode`.
+    trace_ids: List[str] = field(default_factory=list)
+    #: Flight-recorder artifact dumped when the violation was flagged.
+    flight_dump: Optional[str] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -50,6 +56,8 @@ class Violation:
             "subject": self.subject,
             "detail": self.detail,
             "transcript": [repr(entry) for entry in self.transcript[-16:]],
+            "trace_ids": list(self.trace_ids),
+            "flight_dump": self.flight_dump,
         }
 
 
@@ -69,10 +77,20 @@ class InvariantOracle:
     """
 
     def __init__(self, *, staleness_budget_us: int = 2_000,
-                 drift_ppm: float = 200.0):
+                 drift_ppm: float = 200.0,
+                 flight_recorder=None,
+                 dump_dir: Optional[str] = None):
         self.staleness_budget_us = staleness_budget_us
         self.drift_ppm = drift_ppm
+        #: When both are set, every violation dumps the recorder's window
+        #: to ``dump_dir`` and carries the artifact path.
+        self.flight_recorder = flight_recorder
+        self.dump_dir = dump_dir
         self.violations: List[Violation] = []
+        #: client -> trace ids of its recent calls (newest last).
+        self._traces: Dict[str, List[str]] = {}
+        #: Trace ids of the most recent calls across all clients.
+        self._recent_traces: List[str] = []
         #: client -> (last value_us, last wall_s, last rtt_s)
         self._last: Dict[str, Tuple[int, float, float]] = {}
         #: client -> rolling reply transcript (value, wall, rtt)
@@ -102,9 +120,17 @@ class InvariantOracle:
     # -- online checks ---------------------------------------------------
 
     def observe_reply(self, client_id: str, value_us: int, *,
-                      wall_s: float, rtt_s: float = 0.0) -> None:
+                      wall_s: float, rtt_s: float = 0.0,
+                      trace_id: Optional[str] = None) -> None:
         """Feed one successful client call (reply received at ``wall_s``
-        on the monotonic clock, after ``rtt_s`` seconds in flight)."""
+        on the monotonic clock, after ``rtt_s`` seconds in flight).
+        ``trace_id`` links the reply to its cross-node timeline."""
+        if trace_id is not None:
+            traces = self._traces.setdefault(client_id, [])
+            traces.append(trace_id)
+            del traces[:-8]
+            self._recent_traces.append(trace_id)
+            del self._recent_traces[:-16]
         log = self._replies.setdefault(client_id, [])
         log.append((value_us, wall_s, rtt_s))
         if len(log) > 64:
@@ -199,8 +225,29 @@ class InvariantOracle:
 
     def _flag(self, check: str, subject: str, detail: str,
               transcript: List[Any]) -> None:
-        self.violations.append(
-            Violation(check, subject, detail, transcript))
+        # The subject's own recent traces lead; other recent traffic
+        # follows (an agreement violation's subject is a node, whose
+        # relevant operations are whatever clients were running).
+        trace_ids = list(self._traces.get(subject, []))
+        for trace_id in self._recent_traces:
+            if trace_id not in trace_ids:
+                trace_ids.append(trace_id)
+        violation = Violation(check, subject, detail, transcript,
+                              trace_ids=trace_ids[-16:])
+        if self.flight_recorder is not None and self.dump_dir is not None:
+            from pathlib import Path
+
+            index = len(self.violations)
+            try:
+                violation.flight_dump = self.flight_recorder.dump(
+                    Path(self.dump_dir) / f"flight-violation-{index}.json",
+                    reason=f"oracle-violation:{check}",
+                    context={"check": check, "subject": subject,
+                             "detail": detail,
+                             "trace_ids": violation.trace_ids})
+            except OSError:
+                pass  # a full disk must not mask the violation itself
+        self.violations.append(violation)
 
     def report(self) -> Dict[str, Any]:
         """The oracle's half of the JSON verdict."""

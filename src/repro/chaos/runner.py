@@ -32,10 +32,13 @@ import threading
 import time
 from typing import Dict, Optional
 
+from .. import trace
 from ..errors import RpcTimeout
 from ..net.client import LiveCaller
 from ..net.daemon import ClientGateway, TimeApp
 from ..net.testbed import LiveTestbed
+from ..obs import flight
+from ..obs.crossnode import CrossNodeSpanAssembler, TraceShardWriter, load_shards
 from ..replication.envelope import Envelope
 from .oracle import InvariantOracle
 from .scenario import ChaosScenario, compile_plan
@@ -77,7 +80,8 @@ class _ChaosClient:
             value_us = result.value["micros"]
             self.oracle.observe_reply(
                 self.client_id, value_us,
-                wall_s=finished, rtt_s=finished - started)
+                wall_s=finished, rtt_s=finished - started,
+                trace_id=outcome.trace_id)
             last_us = value_us
             time.sleep(0.005)  # ~100 req/s per client is plenty of load
 
@@ -114,12 +118,31 @@ def run_chaos(
     clients: Optional[int] = None,
     fast_path: bool = True,
     max_staleness_us: int = 2_000,
+    artifacts_dir: Optional[str] = None,
 ) -> Dict:
-    """Run one chaos scenario; return the JSON-able verdict."""
+    """Run one chaos scenario; return the JSON-able verdict.
+
+    With ``artifacts_dir`` set, the run also writes per-node trace
+    shards (``trace-*.jsonl``), keeps the flight recorder running (every
+    oracle violation dumps its window as ``flight-violation-*.json``),
+    and the verdict gains a ``trace`` section with the assembled
+    cross-node op timelines.
+    """
     duration = duration_s if duration_s is not None else scenario.duration_s
     n_clients = clients if clients is not None else scenario.clients
     plan = compile_plan(scenario)
-    oracle = InvariantOracle(staleness_budget_us=max_staleness_us)
+    shard_writer: Optional[TraceShardWriter] = None
+    recorder = None
+    if artifacts_dir is not None:
+        # Stale contexts from an earlier in-process run must not bleed
+        # into this run's timelines.
+        trace.BAGGAGE.clear()
+        shard_writer = TraceShardWriter(artifacts_dir)
+        recorder = flight.RECORDER.start()
+        recorder.reset()
+    oracle = InvariantOracle(staleness_budget_us=max_staleness_us,
+                             flight_recorder=recorder,
+                             dump_dir=artifacts_dir)
     gateways: list = []
 
     bed = LiveTestbed(node_ids=scenario.node_ids, seed=seed,
@@ -210,12 +233,42 @@ def run_chaos(
         verdict["ok"] = (oracle.ok
                          and plan.done
                          and oracle.replies_checked > 0)
+        if shard_writer is not None:
+            shard_writer.close()
+            shard_writer = None
+            verdict["trace"] = _trace_section(artifacts_dir)
+            verdict["flight_dumps"] = list(recorder.dumps)
         for worker in workers:
             worker.close()
         return verdict
     finally:
         oracle.detach()
+        if shard_writer is not None:
+            shard_writer.close()
+        if recorder is not None:
+            recorder.stop()
         bed.shutdown()
+
+
+def _trace_section(artifacts_dir: str) -> Dict:
+    """Assemble the run's shards into the verdict's ``trace`` section."""
+    assembler = CrossNodeSpanAssembler()
+    records = load_shards(artifacts_dir)
+    assembler.add_events(records)
+    timelines = assembler.assemble()
+    complete = [t for t in timelines if t.complete]
+    example = None
+    if complete:
+        # One fully-stitched end-to-end timeline, spelled out: the
+        # acceptance artifact reviewers (and CI) look at first.
+        example = complete[0].to_dict()
+    return {
+        "shard_dir": artifacts_dir,
+        "records": len(records),
+        "timelines": len(timelines),
+        "complete": len(complete),
+        "example": example,
+    }
 
 
 def self_timeout(worker: _ChaosClient) -> float:

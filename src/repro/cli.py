@@ -24,7 +24,9 @@ simulator::
 Chaos (see ``docs/chaos.md``) — seeded fault injection against a live
 in-process cluster, judged by the invariant oracle::
 
-    python -m repro chaos --scenario examples/chaos_partition.yaml --seed 7
+    python -m repro chaos --scenario examples/chaos_partition.yaml --seed 7 \\
+        --artifacts-dir chaos-artifacts
+    python -m repro trace --shards chaos-artifacts
     python -m repro loadgen --chaos --assert-counters
 
 Observability: every experiment accepts ``--metrics out.jsonl`` (enable
@@ -175,12 +177,12 @@ def cmd_loadgen(args) -> int:
         results = {single.mode: single}
     rows = [
         [r.mode, f"{r.ops_per_s:.0f}", f"{r.p50_us:.0f}",
-         f"{r.p99_us:.0f}", f"{r.ccs_per_op:.3f}",
+         f"{r.p99_us:.0f}", f"{r.p999_us:.0f}", f"{r.ccs_per_op:.3f}",
          r.ops_coalesced, r.fast_path_hits]
         for r in results.values()
     ]
     print(format_table(
-        ["mode", "ops/s", "p50 us", "p99 us", "CCS/op",
+        ["mode", "ops/s", "p50 us", "p99 us", "p99.9 us", "CCS/op",
          "coalesced", "fast hits"],
         rows,
         title=f"LOADGEN closed loop, {args.concurrency} workers x "
@@ -483,6 +485,8 @@ def cmd_serve(args) -> int:
         clock_epoch_us=args.clock_offset_us,
         clock_drift_ppm=args.clock_drift_ppm,
         join_existing=args.join,
+        metrics_port=args.metrics_port,
+        trace_dir=args.trace_dir,
     )
     try:
         daemon = NodeDaemon(config)
@@ -569,9 +573,72 @@ def cmd_chaos(args) -> int:
         duration_s=args.duration,
         clients=args.clients,
         max_staleness_us=args.max_staleness_us,
+        artifacts_dir=args.artifacts_dir,
     )
-    print(json.dumps(verdict, indent=2, sort_keys=True))
+    text = json.dumps(verdict, indent=2, sort_keys=True)
+    print(text)
+    if args.verdict_json:
+        path = Path(args.verdict_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
     return 0 if verdict["ok"] else 1
+
+
+def cmd_trace(args) -> int:
+    """Render cross-node op timelines assembled from trace shards.
+
+    Reads the per-node ``trace-*.jsonl`` shard files a chaos run (with
+    ``--artifacts-dir``) or a daemon (with ``--trace-dir``) wrote,
+    stitches them with the :class:`~repro.obs.crossnode.CrossNodeSpanAssembler`,
+    and prints one timeline per trace id — as a table, or as JSONL with
+    ``--jsonl`` for downstream tooling.
+    """
+    import json
+
+    from .obs.crossnode import assemble_timelines
+
+    if not args.shards:
+        print("trace requires --shards DIR (a chaos --artifacts-dir or "
+              "serve --trace-dir directory)", file=sys.stderr)
+        return 2
+    if not Path(args.shards).is_dir():
+        print(f"trace: {args.shards} is not a directory", file=sys.stderr)
+        return 2
+    timelines = assemble_timelines(args.shards)
+    if args.trace_id:
+        timelines = [t for t in timelines if t.trace_id == args.trace_id]
+        if not timelines:
+            print(f"trace: no timeline with id {args.trace_id}",
+                  file=sys.stderr)
+            return 1
+    complete = sum(1 for t in timelines if t.complete)
+    shown = timelines[:args.limit] if args.limit else timelines
+    if args.jsonl:
+        for timeline in shown:
+            print(json.dumps(timeline.to_dict(), sort_keys=True))
+        return 0 if timelines else 1
+    rows = []
+    for timeline in shown:
+        rows.append([
+            timeline.trace_id,
+            timeline.client,
+            timeline.method or "-",
+            "yes" if timeline.complete else "no",
+            len(timeline.hops),
+            " > ".join(f"{h.stage}@{h.node}" for h in timeline.hops),
+        ])
+    if not rows:
+        print(f"no timelines assembled from {args.shards}", file=sys.stderr)
+        return 1
+    print(format_table(
+        ["trace id", "client", "method", "complete", "hops", "path"],
+        rows,
+        title=f"TRACE {len(timelines)} op timelines "
+              f"({complete} complete) from {args.shards}"))
+    if args.limit and len(timelines) > args.limit:
+        print(f"... {len(timelines) - args.limit} more "
+              f"(raise --limit or use --jsonl)", file=sys.stderr)
+    return 0
 
 
 def cmd_all(args) -> int:
@@ -599,6 +666,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "call": cmd_call,
     "chaos": cmd_chaos,
+    "trace": cmd_trace,
 }
 
 
@@ -709,6 +777,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--clients", type=int, default=None,
                        help="chaos: gateway client threads (default from "
                             "the scenario file)")
+    chaos.add_argument("--artifacts-dir", default=None, metavar="DIR",
+                       help="chaos: write trace shards and flight-recorder "
+                            "dumps into DIR and add the assembled cross-"
+                            "node timelines to the verdict")
+    chaos.add_argument("--verdict-json", default=None, metavar="PATH",
+                       help="chaos: also write the verdict JSON to PATH "
+                            "(for CI artifact upload)")
+    tracecmd = parser.add_argument_group(
+        "trace", "options for 'trace' (cross-node timeline rendering)")
+    tracecmd.add_argument("--shards", default=None, metavar="DIR",
+                          help="trace: directory of trace-*.jsonl shards "
+                               "(chaos --artifacts-dir / serve --trace-dir)")
+    tracecmd.add_argument("--jsonl", action="store_true",
+                          help="trace: emit one JSON timeline per line "
+                               "instead of a table")
+    tracecmd.add_argument("--trace-id", default=None,
+                          help="trace: show only this trace id")
+    tracecmd.add_argument("--limit", type=int, default=20,
+                          help="trace: timelines to render (0 = all)")
     live = parser.add_argument_group(
         "live mode", "options for 'serve' and 'call' (see docs/live_mode.md)")
     live.add_argument("--node", default=None,
@@ -737,6 +824,13 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--join", action="store_true",
                       help="serve: join an already-running group "
                            "(recovering replica)")
+    live.add_argument("--metrics-port", type=int, default=None,
+                      help="serve: expose /metrics (Prometheus text), "
+                           "/metrics.json and /healthz on this port")
+    live.add_argument("--trace-dir", default=None, metavar="DIR",
+                      help="serve: write this node's trace shard "
+                           "(trace-<node>.jsonl) into DIR and keep the "
+                           "flight recorder running (dumped on crash)")
     return parser
 
 

@@ -104,6 +104,26 @@ M_FAST_FALLBACKS = obs.REGISTRY.counter(
     "cts_fast_path_fallbacks_total",
     "fast-path attempts that fell back to a full CCS round "
     "(staleness or drift bound exceeded)")
+M_SKEW = obs.REGISTRY.gauge(
+    "cts_estimated_skew_us",
+    "estimated inter-replica skew at the last round: this replica's "
+    "proposal minus the winning group value (signed)", unit="us")
+M_SKEW_ABS = obs.REGISTRY.histogram(
+    "cts_estimated_skew_abs_us",
+    "absolute estimated inter-replica skew per round", unit="us",
+    buckets=(10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000))
+M_DRIFT_ERROR = obs.REGISTRY.gauge(
+    "cts_drift_bound_error_us",
+    "certified worst-case drift error of the last fast-path read",
+    unit="us")
+M_FAST_STALENESS = obs.REGISTRY.histogram(
+    "cts_fast_path_staleness_us",
+    "staleness of fast-path reads (physical-clock time since the last "
+    "committed round)", unit="us",
+    buckets=(50, 100, 250, 500, 1_000, 2_000, 4_000, 8_000))
+M_STALENESS_BUDGET = obs.REGISTRY.gauge(
+    "cts_max_staleness_us",
+    "configured fast-path staleness budget", unit="us")
 
 
 @dataclass
@@ -310,6 +330,11 @@ class ConsistentTimeService(TimeSource):
             M_ROUND_LATENCY.observe(
                 (self.sim.now - pending.started_at) * 1e6, node=self.node_id)
             M_OFFSET.set(self.clock_state.offset_us, node=self.node_id)
+            # Our local logical value vs the winner's: the per-round
+            # estimate of this replica's skew against the group.
+            skew = pending.proposal_us - group_us
+            M_SKEW.set(skew, node=self.node_id)
+            M_SKEW_ABS.observe(abs(skew), node=self.node_id)
         if trace.TRACER.enabled:
             trace.emit(
                 "round.complete", self.node_id,
@@ -359,15 +384,21 @@ class ConsistentTimeService(TimeSource):
                 handler,
                 PendingOp(op_id, call, result, self.sim.now, floor_us),
                 entry.group_us,
+                round_number=entry.round_number,
             )
             return result
 
         fast_us = self._try_fast_path(handler) if fast_ok else None
         if fast_us is not None:
             self.stats.fast_path_hits += 1
+            elapsed = self.node.read_clock_us() - self._last_commit_physical_us
             if obs.REGISTRY.enabled:
                 M_FAST_HITS.inc(node=self.node_id)
-            elapsed = self.node.read_clock_us() - self._last_commit_physical_us
+                M_FAST_STALENESS.observe(elapsed, node=self.node_id)
+                M_DRIFT_ERROR.set(self.drift_bound.error_us(elapsed),
+                                  node=self.node_id)
+                M_STALENESS_BUDGET.set(self.max_staleness_us,
+                                       node=self.node_id)
             self.fast_served.append((self.sim.now, fast_us, elapsed))
             self._serve(
                 handler,
@@ -422,6 +453,7 @@ class ConsistentTimeService(TimeSource):
         group_us: int,
         *,
         fast: bool = False,
+        round_number: Optional[int] = None,
     ) -> None:
         """Hand one coalesced operation its group-clock value."""
         value_us = group_us
@@ -450,6 +482,15 @@ class ConsistentTimeService(TimeSource):
         self.stats.ops_completed += 1
         if obs.REGISTRY.enabled:
             M_OPS.inc(node=self.node_id)
+        if trace.TRACER.enabled:
+            # The cross-node assembler joins this to op.execute by
+            # (node, request index) and to round.won by (node, thread,
+            # round) — see repro.obs.crossnode.
+            trace.emit(
+                "op.served", self.node_id, thread=handler.my_thread_id,
+                req=op.op_id[0], op_seq=op.op_id[1], round=round_number,
+                fast=fast, group_us=value_us, t=self.sim.now,
+            )
         if not op.result.triggered:
             op.result.succeed(value)
 
@@ -482,6 +523,12 @@ class ConsistentTimeService(TimeSource):
         if in_flight is not None and in_flight.round_number == msg.round_number:
             physical_us = in_flight.physical_us
             started_at = in_flight.started_at
+            if obs.REGISTRY.enabled:
+                # We proposed for this round: proposal minus winner is
+                # the per-round estimate of our skew against the group.
+                skew = in_flight.proposal_us - group_us
+                M_SKEW.set(skew, node=self.node_id)
+                M_SKEW_ABS.observe(abs(skew), node=self.node_id)
         else:
             # We never proposed for this round (it was driven by another
             # replica, or arrived while we were catching up): anchor the
@@ -541,7 +588,7 @@ class ConsistentTimeService(TimeSource):
             if obs.REGISTRY.enabled:
                 M_FROM_BUFFER.inc(node=self.node_id)
         for op in served:
-            self._serve(handler, op, group_us)
+            self._serve(handler, op, group_us, round_number=msg.round_number)
 
     def _open_round(self, handler: CCSHandler) -> None:
         """Start a coalesced round covering every currently parked

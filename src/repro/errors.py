@@ -95,4 +95,14 @@ class TransportError(NetworkError):
 
 
 class FrameError(ReproError):
-    """A wire frame failed to parse (bad magic, bad version, truncation)."""
+    """A wire frame failed to parse (bad magic, bad version, truncation).
+
+    ``reason`` is a stable machine-readable code (``truncated``,
+    ``magic``, ``version``, ``length``, ``source``, ``trace``,
+    ``payload``, ``trailing``) used to label the per-reason rejection
+    counters on live UDP ports.
+    """
+
+    def __init__(self, message: str, *, reason: str = "malformed"):
+        super().__init__(message)
+        self.reason = reason

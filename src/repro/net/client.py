@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from .. import obs
+from .. import obs, trace
 from ..errors import RpcTimeout
 from ..replication.envelope import MsgType, make_envelope
 from ..rpc.messages import Invocation, Result
@@ -66,6 +66,8 @@ class CallOutcome:
     latency_us: int
     via: Address
     attempts: int = 1
+    #: Trace id carried on the wire (None when tracing was disabled).
+    trace_id: Optional[str] = None
 
     @property
     def values(self) -> Dict[str, object]:
@@ -168,10 +170,20 @@ class LiveCaller:
             self.client_id,
             body=Invocation(method, tuple(args)),
         )
-        data = encode_frame(self.client_id, envelope)
+        # A fresh trace context per operation (not per attempt: retries
+        # re-send the same frame, so the same trace id rides every copy).
+        tctx = None
+        if trace.TRACER.enabled:
+            tctx = trace.TraceContext(trace.new_trace_id(self._rng),
+                                      f"client.{self.client_id}")
+        data = encode_frame(self.client_id, envelope, trace=tctx)
         self.stats.calls += 1
         if obs.REGISTRY.enabled:
             M_CLIENT_CALLS.inc(client=self.client_id)
+        if tctx is not None:
+            trace.emit("op.send", self.client_id, trace=tctx.trace_id,
+                       op_group=self.client_group, conn=conn_id, seq=seq,
+                       method=method, t=time.monotonic())
 
         started = time.monotonic()
         deadline = started + timeout
@@ -215,8 +227,13 @@ class LiveCaller:
                 if results:
                     self._record_success(address)
                     latency_us = int((time.monotonic() - started) * 1_000_000)
+                    if tctx is not None:
+                        trace.emit("op.reply_recv", self.client_id,
+                                   trace=tctx.trace_id, conn=conn_id, seq=seq,
+                                   replies=len(results), t=time.monotonic())
                     return CallOutcome(method, results, latency_us, address,
-                                       attempts=attempts)
+                                       attempts=attempts,
+                                       trace_id=tctx.trace_id if tctx else None)
                 self._record_failure(address)
             sweep += 1
             remaining = deadline - time.monotonic()

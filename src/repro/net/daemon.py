@@ -32,7 +32,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .. import obs
+from .. import obs, trace
+from ..obs import flight
+from ..obs.crossnode import TraceShardWriter
+from ..obs.http import MetricsHttpServer
 from ..replication.envelope import Envelope
 from ..replication.group import GroupEndpoint, GroupRuntime
 from ..replication.replica import Application
@@ -100,6 +103,11 @@ class DaemonConfig:
     join_existing: bool = False
     totem: Optional[TotemConfig] = None
     extra_style_kwargs: Dict = field(default_factory=dict)
+    #: Serve ``/metrics`` (Prometheus text) on this port (None = off).
+    metrics_port: Optional[int] = None
+    #: Write per-node trace shards (JSONL) into this directory and keep
+    #: the flight recorder running (None = off).
+    trace_dir: Optional[str] = None
 
 
 M_GW_REQUESTS = obs.REGISTRY.counter(
@@ -151,6 +159,16 @@ class ClientGateway:
         client_group = header.src_grp
         self.routes[client_group] = frame.addr
         key: _OpKey = (client_group, header.conn_id, header.msg_seq_num)
+        if frame.trace is not None:
+            # Replies to this operation travel as (service group ->
+            # client group) envelopes with the same (conn, seq); park the
+            # context under that identity so the REPLY frames every
+            # replica multicasts — and the forward to the caller — carry
+            # the trace without any per-layer plumbing.
+            trace.BAGGAGE.put(
+                (header.dst_grp, client_group, header.conn_id,
+                 header.msg_seq_num),
+                frame.trace.child(f"gw.{self.node_id}"))
         recorded = self._seen.get(key)
         if recorded is not None:
             # A retry of an operation already in (or through) the order:
@@ -160,6 +178,11 @@ class ClientGateway:
             self.requests_deduplicated += 1
             if obs.REGISTRY.enabled:
                 M_GW_DUPLICATES.inc(node=self.node_id)
+            if frame.trace is not None and trace.TRACER.enabled:
+                trace.emit("op.gateway", self.node_id,
+                           trace=frame.trace.trace_id, op_group=client_group,
+                           conn=header.conn_id, seq=header.msg_seq_num,
+                           dedup=True, t=self.runtime.sim.now)
             for reply in recorded:
                 self.port.sendto(frame.addr, reply)
                 self.replies_replayed += 1
@@ -169,6 +192,11 @@ class ClientGateway:
         self._seen[key] = []
         while len(self._seen) > self.DEDUP_WINDOW:
             self._seen.popitem(last=False)
+        if frame.trace is not None and trace.TRACER.enabled:
+            trace.emit("op.gateway", self.node_id,
+                       trace=frame.trace.trace_id, op_group=client_group,
+                       conn=header.conn_id, seq=header.msg_seq_num,
+                       dedup=False, t=self.runtime.sim.now)
         self._endpoint_for(client_group).mcast(envelope)
         self.requests_injected += 1
         if obs.REGISTRY.enabled:
@@ -191,6 +219,13 @@ class ClientGateway:
         self.port.sendto(address, envelope)
         self.replies_forwarded += 1
         header = envelope.header
+        if trace.TRACER.enabled:
+            context = trace.BAGGAGE.get(envelope.header.message_id)
+            if context is not None:
+                trace.emit("op.reply", self.node_id,
+                           trace=context.trace_id, conn=header.conn_id,
+                           seq=header.msg_seq_num, replica=envelope.sender,
+                           t=self.runtime.sim.now)
         key: _OpKey = (client_group, header.conn_id, header.msg_seq_num)
         recorded = self._seen.get(key)
         if recorded is not None:
@@ -257,6 +292,8 @@ class NodeDaemon:
             **config.extra_style_kwargs,
         )
         self._started = False
+        self._metrics_server: Optional[MetricsHttpServer] = None
+        self._shard_writer: Optional[TraceShardWriter] = None
 
     @property
     def address(self) -> Address:
@@ -298,25 +335,73 @@ class NodeDaemon:
                 loop.add_signal_handler(signum, loop.stop)
             except (NotImplementedError, RuntimeError):  # pragma: no cover
                 pass
+        self.start_observability()
         self.start()
         self._log(f"serving group {self.config.group!r} "
                   f"({self.config.style}) on {self.address[0]}:{self.address[1]}")
         self.kernel.schedule(1.0, self._report_failures)
         try:
             loop.run_forever()
+        except BaseException:
+            self._dump_flight("daemon-crash")
+            raise
         finally:
             self.shutdown()
 
+    def start_observability(self) -> None:
+        """Bring up the observability sidecars the config asks for:
+        metrics registry + scrape endpoint, trace shards, flight ring."""
+        config = self.config
+        if config.metrics_port is not None or config.trace_dir is not None:
+            if not obs.REGISTRY.enabled:
+                obs.REGISTRY.enable(clock=lambda: self.kernel.now)
+        if config.metrics_port is not None:
+            self._metrics_server = MetricsHttpServer(port=config.metrics_port)
+            task = self.kernel.loop.create_task(self._metrics_server.start())
+            task.add_done_callback(self._metrics_started)
+        if config.trace_dir is not None:
+            self._shard_writer = TraceShardWriter(config.trace_dir)
+            flight.RECORDER.start()
+
+    def _metrics_started(self, task) -> None:
+        exc = task.exception()
+        if exc is not None:
+            self._log(f"metrics endpoint failed to start: {exc!r}")
+            self._metrics_server = None
+        else:
+            self._log("metrics endpoint on port "
+                      f"{self._metrics_server.bound_port}")
+
     def _report_failures(self) -> None:
-        for failure in self.kernel.drain_failures():
+        failures = self.kernel.drain_failures()
+        for failure in failures:
             self._log(f"unhandled protocol failure: {failure!r}")
+        if failures and self.config.trace_dir is not None:
+            self._dump_flight("protocol-failure",
+                              context={"failures": [repr(f) for f in failures]})
         if self.node.alive:
             self.kernel.schedule(1.0, self._report_failures)
+
+    def _dump_flight(self, reason: str, context: Optional[Dict] = None) -> None:
+        if self.config.trace_dir is None or not flight.RECORDER.enabled:
+            return
+        from pathlib import Path
+
+        path = (Path(self.config.trace_dir)
+                / f"flight-{self.config.node_id}-{reason}.json")
+        dumped = flight.RECORDER.dump(
+            path, reason=reason,
+            context={"node": self.config.node_id, **(context or {})})
+        self._log(f"flight recorder dumped to {dumped}")
 
     def _log(self, message: str) -> None:
         print(f"[repro serve {self.config.node_id}] {message}",
               file=sys.stderr, flush=True)
 
     def shutdown(self) -> None:
+        if self._shard_writer is not None:
+            self._shard_writer.close()
+            self._shard_writer = None
+            flight.RECORDER.stop()
         self.transport.close()
         self.kernel.close()

@@ -26,10 +26,13 @@ import socket
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from .. import obs
+from .. import obs, trace as trace_mod
 from ..errors import FrameError, NetworkError, TransportError
+from ..obs import flight
+from ..replication.envelope import Envelope
+from ..trace import TraceContext
 from .transport import Transport, TransportPort
-from .wire import encode_frame, decode_frame
+from .wire import encode_frame, decode_frame_ex
 
 Address = Tuple[str, int]
 
@@ -41,7 +44,35 @@ M_DATAGRAM_BYTES = obs.REGISTRY.counter(
 M_DATAGRAMS_RECEIVED = obs.REGISTRY.counter(
     "udp_datagrams_received_total", "valid frames received per live port")
 M_DATAGRAMS_REJECTED = obs.REGISTRY.counter(
-    "udp_datagrams_rejected_total", "datagrams dropped by frame validation")
+    "udp_datagrams_rejected_total",
+    "datagrams dropped by frame validation, labelled by rejection reason "
+    "(truncated, magic, version, length, source, trace, payload, trailing)")
+
+
+def _envelope_of(payload: Any) -> Optional[Envelope]:
+    """The envelope a payload carries, if any: bare client traffic, or
+    an ordered Totem regular message wrapping one."""
+    if isinstance(payload, Envelope):
+        return payload
+    inner = getattr(payload, "payload", None)
+    return inner if isinstance(inner, Envelope) else None
+
+
+def _trace_for(payload: Any) -> Optional[TraceContext]:
+    """The trace context to re-attach when transmitting ``payload``.
+
+    Contexts ride frames, not envelopes, so a message crossing the total
+    order loses its frame; the receive path parks the context in the
+    process-wide baggage keyed by envelope identity, and this lookup
+    restores it on the way out.  Zero-cost while nothing is traced (the
+    baggage stays empty).
+    """
+    if not trace_mod.BAGGAGE:
+        return None
+    envelope = _envelope_of(payload)
+    if envelope is None:
+        return None
+    return trace_mod.BAGGAGE.get(envelope.header.message_id)
 
 
 @dataclass
@@ -50,13 +81,15 @@ class LiveFrame:
 
     Exposes the contract fields (``src``, ``payload``) plus the sender's
     socket address, which the daemon's client gateway uses to route
-    replies to callers outside the peer address book.
+    replies to callers outside the peer address book, and the optional
+    trace context carried by the v3 wire format.
     """
 
     src: str
     payload: Any
     size_bytes: int
     addr: Address
+    trace: Optional[TraceContext] = None
 
 
 class UdpPort(TransportPort):
@@ -73,6 +106,9 @@ class UdpPort(TransportPort):
         self.frames_received = 0
         self.bytes_sent = 0
         self.frames_rejected = 0
+        #: Rejection tallies keyed by :class:`~repro.errors.FrameError`
+        #: reason code (mirrors ``udp_datagrams_rejected_total``).
+        self.rejected_by_reason: Dict[str, int] = {}
 
     @property
     def address(self) -> Address:
@@ -87,26 +123,32 @@ class UdpPort(TransportPort):
         addr = self.transport.peers.get(dst)
         if addr is None:
             return
-        self._send(encode_frame(self.node_id, payload), addr)
+        trace = _trace_for(payload)
+        self._send(encode_frame(self.node_id, payload, trace), addr,
+                   payload, trace)
 
     def multicast(self, payload: Any, size_bytes: int = 128) -> None:
         """Fan out to every peer in the address book, self included."""
         self._check_up()
-        data = encode_frame(self.node_id, payload)
+        trace = _trace_for(payload)
+        data = encode_frame(self.node_id, payload, trace)
         for addr in self.transport.peers.values():
-            self._send(data, addr)
+            self._send(data, addr, payload, trace)
 
     def sendto(self, addr: Address, payload: Any) -> None:
         """Send a framed payload to an explicit socket address (used by
         the daemon to answer clients that are not ring peers)."""
         self._check_up()
-        self._send(encode_frame(self.node_id, payload), addr)
+        trace = _trace_for(payload)
+        self._send(encode_frame(self.node_id, payload, trace), addr,
+                   payload, trace)
 
     def _check_up(self) -> None:
         if not self.up:
             raise NetworkError(f"interface {self.node_id!r} is down")
 
-    def _send(self, data: bytes, addr: Address) -> None:
+    def _send(self, data: bytes, addr: Address, payload: Any = None,
+              trace: Optional[TraceContext] = None) -> None:
         try:
             self.sock.sendto(data, addr)
         except OSError as exc:
@@ -117,6 +159,10 @@ class UdpPort(TransportPort):
         if obs.REGISTRY.enabled:
             M_DATAGRAMS_SENT.inc(node=self.node_id)
             M_DATAGRAM_BYTES.inc(len(data), node=self.node_id)
+        if flight.RECORDER.enabled:
+            flight.RECORDER.record_frame(
+                self.node_id, "tx", addr, type(payload).__name__, len(data),
+                trace.trace_id if trace is not None else None)
 
     # -- receiving ---------------------------------------------------------
 
@@ -133,16 +179,30 @@ class UdpPort(TransportPort):
             if not self.up:
                 continue
             try:
-                src, payload = decode_frame(data)
-            except FrameError:
+                src, payload, trace = decode_frame_ex(data)
+            except FrameError as exc:
                 self.frames_rejected += 1
+                reason = getattr(exc, "reason", "malformed")
+                self.rejected_by_reason[reason] = (
+                    self.rejected_by_reason.get(reason, 0) + 1)
                 if obs.REGISTRY.enabled:
-                    M_DATAGRAMS_REJECTED.inc(node=self.node_id)
+                    M_DATAGRAMS_REJECTED.inc(node=self.node_id,
+                                             reason=reason)
                 continue
             self.frames_received += 1
+            if trace is not None:
+                # Park the context by envelope identity so it survives
+                # the hop across the total order (see _trace_for).
+                envelope = _envelope_of(payload)
+                if envelope is not None:
+                    trace_mod.BAGGAGE.put(envelope.header.message_id, trace)
             if obs.REGISTRY.enabled:
                 M_DATAGRAMS_RECEIVED.inc(node=self.node_id)
-            self._deliver(LiveFrame(src, payload, len(data), addr))
+            if flight.RECORDER.enabled:
+                flight.RECORDER.record_frame(
+                    self.node_id, "rx", addr, type(payload).__name__,
+                    len(data), trace.trace_id if trace is not None else None)
+            self._deliver(LiveFrame(src, payload, len(data), addr, trace))
 
 
 class UdpTransport(Transport):

@@ -18,7 +18,15 @@ Frame layout (all integers little-endian)::
     offset 0  magic   2 bytes  b"CT"
            2  version 1 byte   WIRE_VERSION
            3  length  4 bytes  byte length of the body
-           7  body    = src-node (length-prefixed UTF-8) + payload bytes
+           7  body    = src-node (length-prefixed UTF-8)
+                      + flags (1 byte, v3+)
+                      + trace context (if flag bit 0: trace id + causal
+                        parent, both length-prefixed UTF-8)
+                      + payload bytes
+
+v2 frames (no flags byte, no trace context) still decode: the trace
+context is the *optional* observability field of v3, and a mixed-version
+ring degrades to untraced frames rather than refusing to interoperate.
 
 Payload layout: a one-byte kind tag followed by kind-specific fields.
 :class:`~repro.totem.messages.RegularMessage` payloads nest recursively
@@ -34,6 +42,7 @@ import struct
 from typing import Any, Optional, Tuple
 
 from ..errors import FrameError
+from ..trace import TraceContext
 from ..replication.codec import (
     CodecError,
     _pack_json,
@@ -60,9 +69,16 @@ MAGIC = b"CT"
 #: Bump on any incompatible change to the frame or payload layout.
 #: v2: CCS messages carry a covering operation id (round coalescing) and
 #: time-transfer state carries per-thread operation-numbering points.
-WIRE_VERSION = 2
+#: v3: a flags byte after the source, with an optional trace context
+#: (trace id + causal parent) for cross-node causal tracing.
+WIRE_VERSION = 3
+#: Versions this decoder accepts (v2 frames simply carry no trace).
+ACCEPTED_VERSIONS = (2, 3)
 #: magic + version + length.
 HEADER_SIZE = 7
+#: Frame flag: a trace context follows the source field.
+_FLAG_TRACE = 0x01
+_KNOWN_FLAGS = _FLAG_TRACE
 
 # -- payload kind tags ----------------------------------------------------
 _KIND_ENVELOPE = 0
@@ -188,7 +204,9 @@ def encode_payload(payload: Any) -> bytes:
     try:
         return bytes([_KIND_JSON]) + _pack_json(payload)
     except CodecError as exc:
-        raise FrameError(f"payload {type(payload).__name__} is not wire-encodable: {exc}") from exc
+        raise FrameError(
+            f"payload {type(payload).__name__} is not wire-encodable: {exc}",
+            reason="payload") from exc
 
 
 def decode_payload(buffer: bytes, offset: int = 0) -> Tuple[Any, int]:
@@ -260,56 +278,113 @@ def decode_payload(buffer: bytes, offset: int = 0) -> Tuple[Any, int]:
             return _unpack_json(buffer, offset)
         if kind == _KIND_LOST:
             return LostMessage(), offset
-        raise FrameError(f"unknown payload kind {kind}")
+        raise FrameError(f"unknown payload kind {kind}", reason="payload")
     except (struct.error, IndexError, UnicodeDecodeError,
             json.JSONDecodeError, CodecError) as exc:
-        raise FrameError(f"malformed payload: {exc}") from exc
+        raise FrameError(f"malformed payload: {exc}", reason="payload") from exc
 
 
 # -- framing --------------------------------------------------------------
 
-def frame(src: str, payload_bytes: bytes) -> bytes:
-    """Wrap encoded payload bytes in a versioned, length-checked frame."""
-    body = _pack_str(src) + payload_bytes
+def frame(src: str, payload_bytes: bytes,
+          trace: Optional[TraceContext] = None) -> bytes:
+    """Wrap encoded payload bytes in a versioned, length-checked frame.
+
+    ``trace`` attaches the optional v3 trace-context field (a compact
+    trace id plus the causal parent hop).
+    """
+    flags = _FLAG_TRACE if trace is not None else 0
+    parts = [_pack_str(src), bytes([flags])]
+    if trace is not None:
+        parts.append(_pack_str(trace.trace_id))
+        parts.append(_pack_str(trace.parent))
+    parts.append(payload_bytes)
+    body = b"".join(parts)
     return MAGIC + bytes([WIRE_VERSION]) + struct.pack("<I", len(body)) + body
+
+
+def unframe_ex(data: bytes) -> Tuple[str, Optional[TraceContext], bytes]:
+    """Validate a frame; returns ``(src_node, trace, payload_bytes)``.
+
+    Raises :class:`~repro.errors.FrameError` on anything that is not a
+    complete, accepted-version frame — foreign datagrams, truncation, or
+    trailing garbage.  v2 frames decode with ``trace=None``.
+    """
+    if len(data) < HEADER_SIZE:
+        raise FrameError(f"short frame ({len(data)} bytes)",
+                         reason="truncated")
+    if data[:2] != MAGIC:
+        raise FrameError(f"bad magic {data[:2]!r}", reason="magic")
+    version = data[2]
+    if version not in ACCEPTED_VERSIONS:
+        raise FrameError(f"unsupported wire version {version}",
+                         reason="version")
+    (length,) = struct.unpack_from("<I", data, 3)
+    body = data[HEADER_SIZE:]
+    if len(body) != length:
+        raise FrameError(
+            f"frame length mismatch: header says {length}, got {len(body)}",
+            reason="length")
+    try:
+        src, offset = _unpack_str(body, 0)
+    except (struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise FrameError(f"malformed frame source: {exc}",
+                         reason="source") from exc
+    if offset > len(body):
+        raise FrameError("frame source field overruns the body",
+                         reason="source")
+    trace: Optional[TraceContext] = None
+    if version >= 3:
+        if offset >= len(body):
+            raise FrameError("frame truncated before the flags byte",
+                             reason="truncated")
+        flags = body[offset]
+        offset += 1
+        if flags & ~_KNOWN_FLAGS:
+            raise FrameError(f"unknown frame flags {flags:#04x}",
+                             reason="trace")
+        if flags & _FLAG_TRACE:
+            try:
+                trace_id, offset = _unpack_str(body, offset)
+                parent, offset = _unpack_str(body, offset)
+            except (struct.error, IndexError, UnicodeDecodeError) as exc:
+                raise FrameError(f"malformed trace context: {exc}",
+                                 reason="trace") from exc
+            if offset > len(body):
+                raise FrameError("trace context overruns the body",
+                                 reason="trace")
+            trace = TraceContext(trace_id, parent)
+    return src, trace, body[offset:]
 
 
 def unframe(data: bytes) -> Tuple[str, bytes]:
     """Validate a frame; returns ``(src_node, payload_bytes)``.
 
-    Raises :class:`~repro.errors.FrameError` on anything that is not a
-    complete, current-version frame — foreign datagrams, truncation, or
-    trailing garbage.
+    The pre-v3 two-tuple contract: any attached trace context is parsed
+    (and validated) but discarded.  Use :func:`unframe_ex` to keep it.
     """
-    if len(data) < HEADER_SIZE:
-        raise FrameError(f"short frame ({len(data)} bytes)")
-    if data[:2] != MAGIC:
-        raise FrameError(f"bad magic {data[:2]!r}")
-    if data[2] != WIRE_VERSION:
-        raise FrameError(f"unsupported wire version {data[2]}")
-    (length,) = struct.unpack_from("<I", data, 3)
-    body = data[HEADER_SIZE:]
-    if len(body) != length:
-        raise FrameError(f"frame length mismatch: header says {length}, got {len(body)}")
-    try:
-        src, offset = _unpack_str(body, 0)
-    except (struct.error, IndexError, UnicodeDecodeError) as exc:
-        raise FrameError(f"malformed frame source: {exc}") from exc
-    if offset > len(body):
-        raise FrameError("frame source field overruns the body")
-    return src, body[offset:]
+    src, _trace, payload_bytes = unframe_ex(data)
+    return src, payload_bytes
 
 
-def encode_frame(src: str, payload: Any) -> bytes:
+def encode_frame(src: str, payload: Any,
+                 trace: Optional[TraceContext] = None) -> bytes:
     """Convenience: encode and frame one payload."""
-    return frame(src, encode_payload(payload))
+    return frame(src, encode_payload(payload), trace)
+
+
+def decode_frame_ex(data: bytes) -> Tuple[str, Any, Optional[TraceContext]]:
+    """Unframe and decode; returns ``(src_node, payload, trace)``."""
+    src, trace, payload_bytes = unframe_ex(data)
+    payload, end = decode_payload(payload_bytes, 0)
+    if end != len(payload_bytes):
+        raise FrameError(
+            f"trailing garbage: payload ends at {end} of {len(payload_bytes)} bytes",
+            reason="trailing")
+    return src, payload, trace
 
 
 def decode_frame(data: bytes) -> Tuple[str, Any]:
     """Convenience: unframe and decode; returns ``(src_node, payload)``."""
-    src, payload_bytes = unframe(data)
-    payload, end = decode_payload(payload_bytes, 0)
-    if end != len(payload_bytes):
-        raise FrameError(
-            f"trailing garbage: payload ends at {end} of {len(payload_bytes)} bytes")
+    src, payload, _trace = decode_frame_ex(data)
     return src, payload

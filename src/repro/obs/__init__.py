@@ -10,6 +10,13 @@ full catalogue):
   per-round lifecycle record for every CCS round from the trace stream.
 * :mod:`repro.obs.export` — JSONL dumps, Prometheus text exposition and
   human-readable summary tables.
+* :mod:`repro.obs.crossnode` — per-node trace shards and the
+  :class:`CrossNodeSpanAssembler` that stitches them into end-to-end op
+  timelines across the live stack.
+* :mod:`repro.obs.flight` — the bounded :class:`FlightRecorder` ring
+  dumped on daemon crash or invariant violation.
+* :mod:`repro.obs.http` — :class:`MetricsHttpServer`, the scrape
+  endpoint behind ``repro serve --metrics-port``.
 
 Quick start::
 
@@ -22,6 +29,16 @@ Quick start::
 """
 
 from . import export
+from .crossnode import (
+    CrossNodeSpanAssembler,
+    Hop,
+    OpTimeline,
+    TraceShardWriter,
+    assemble_timelines,
+    load_shards,
+)
+from .flight import RECORDER, FlightRecorder
+from .http import MetricsHttpServer
 from .metrics import (
     Counter,
     Gauge,
@@ -35,13 +52,22 @@ from .spans import RoundSpan, RoundSpanTracker
 
 __all__ = [
     "Counter",
+    "CrossNodeSpanAssembler",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "Hop",
     "MetricsError",
+    "MetricsHttpServer",
     "MetricsRegistry",
+    "OpTimeline",
+    "RECORDER",
     "REGISTRY",
     "RoundSpan",
     "RoundSpanTracker",
+    "TraceShardWriter",
+    "assemble_timelines",
     "export",
+    "load_shards",
 ]

@@ -1,0 +1,318 @@
+"""Cross-node causal tracing: trace shards and the span assembler.
+
+One client call to the live stack touches many processes: the caller
+(``op.send``), a daemon's client gateway (``op.gateway``), every replica
+that executes it (``op.execute``), the time service that hands it a
+group-clock value (``op.served``), the CCS round that produced the value
+(``round.won``) and the gateway that forwards each reply (``op.reply``
+on the daemon, ``op.reply_recv`` on the client).  Each hop stamps its
+trace events with the trace id carried in the v3 wire format
+(:class:`~repro.trace.TraceContext`), so the per-node event streams can
+be re-joined after the fact:
+
+* :class:`TraceShardWriter` — subscribes to a tracer and appends every
+  event to one JSONL *shard* per emitting node (the files a daemon
+  writes with ``repro serve --trace-dir``, or a chaos run collects in
+  its artifacts directory);
+* :class:`CrossNodeSpanAssembler` — reads shard records back and
+  stitches them into :class:`OpTimeline` objects, one per trace id,
+  joining by trace id where it is carried and by replica-independent
+  operation identity (``(client_group, conn_id, seq)`` →
+  ``(node, request_index)`` → round) where it is not;
+* ``python -m repro trace --shards DIR`` renders the result.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from .. import trace
+from .export import read_jsonl, trace_event_record
+
+#: Canonical hop order within one operation; cross-process timestamps
+#: share no epoch, so ordering is causal (by stage), not temporal.
+STAGE_ORDER = (
+    "client.send",
+    "gateway.dedup",
+    "gateway.inject",
+    "execute",
+    "round.won",
+    "served",
+    "reply.forward",
+    "reply.recv",
+)
+
+_SHARD_PREFIX = "trace-"
+
+
+def _safe_node(node: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]", "_", node) or "unknown"
+
+
+def shard_path(directory: Union[str, Path], node: str) -> Path:
+    """The shard file one node's events land in."""
+    return Path(directory) / f"{_SHARD_PREFIX}{_safe_node(node)}.jsonl"
+
+
+class TraceShardWriter:
+    """Streams trace events into per-node JSONL shard files.
+
+    Thread-safe: client workers emit ``op.send`` from their own threads
+    while the kernel thread emits protocol events.  Files are opened
+    lazily (one per node seen) and flushed on :meth:`close`.
+    """
+
+    def __init__(self, directory: Union[str, Path],
+                 tracer: Optional[trace.Tracer] = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._files: Dict[str, IO[str]] = {}
+        self._lock = threading.Lock()
+        self._unsubscribe = (tracer or trace.TRACER).subscribe(self._on_event)
+        self.events_written = 0
+
+    def _on_event(self, event: trace.TraceEvent) -> None:
+        record = trace_event_record(event)
+        import json
+
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            handle = self._files.get(event.node)
+            if handle is None:
+                handle = open(shard_path(self.directory, event.node), "a",
+                              encoding="utf-8")
+                self._files[event.node] = handle
+            handle.write(line)
+            self.events_written += 1
+
+    def shards(self) -> List[Path]:
+        with self._lock:
+            return sorted(shard_path(self.directory, node)
+                          for node in self._files)
+
+    def close(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        with self._lock:
+            for handle in self._files.values():
+                handle.close()
+            self._files.clear()
+
+    def __enter__(self) -> "TraceShardWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_shards(directory: Union[str, Path]) -> List[dict]:
+    """Every trace record from every shard file in ``directory``.
+
+    Tolerant of truncated shards (a crashed daemon may have died
+    mid-line): malformed lines are skipped, matching
+    :func:`~repro.obs.export.read_jsonl`.
+    """
+    records: List[dict] = []
+    for path in sorted(Path(directory).glob(f"{_SHARD_PREFIX}*.jsonl")):
+        records.extend(r for r in read_jsonl(path)
+                       if r.get("record") == "trace")
+    return records
+
+
+@dataclass
+class Hop:
+    """One stage of an operation's journey, on one node."""
+
+    stage: str
+    node: str
+    t: Optional[float] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"stage": self.stage, "node": self.node, "t": self.t,
+                **self.detail}
+
+
+@dataclass
+class OpTimeline:
+    """One client operation, end to end, across every node it touched."""
+
+    trace_id: str
+    client: str = "?"
+    method: Optional[str] = None
+    #: Replica-independent operation identity (client group, conn, seq).
+    op: Optional[Tuple[str, int, int]] = None
+    hops: List[Hop] = field(default_factory=list)
+
+    def stages(self) -> List[str]:
+        return [hop.stage for hop in self.hops]
+
+    @property
+    def complete(self) -> bool:
+        """The full acceptance chain was observed: client send → gateway
+        inject → replica serve → CCS round won → reply received."""
+        seen = set(self.stages())
+        return {"client.send", "gateway.inject", "served",
+                "round.won", "reply.recv"} <= seen
+
+    @property
+    def nodes(self) -> List[str]:
+        ordered: List[str] = []
+        for hop in self.hops:
+            if hop.node not in ordered:
+                ordered.append(hop.node)
+        return ordered
+
+    def sort(self) -> None:
+        rank = {stage: i for i, stage in enumerate(STAGE_ORDER)}
+        self.hops.sort(key=lambda hop: (rank.get(hop.stage, len(rank)),
+                                        hop.node,
+                                        hop.t if hop.t is not None else 0.0))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "client": self.client,
+            "method": self.method,
+            "op": list(self.op) if self.op else None,
+            "complete": self.complete,
+            "nodes": self.nodes,
+            "hops": [hop.to_dict() for hop in self.hops],
+        }
+
+
+class CrossNodeSpanAssembler:
+    """Stitches per-node trace records into end-to-end op timelines.
+
+    Joins, in order of preference:
+
+    1. by **trace id** where the event carries one (``op.send``,
+       ``op.gateway``, ``op.reply``, ``op.reply_recv``, and
+       ``op.execute`` when the baggage propagated);
+    2. by **operation identity** ``(client_group, conn_id, seq)`` for
+       ``op.execute`` events whose trace did not survive;
+    3. by **request index** ``(node, req)`` to bind ``op.served`` (the
+       time service knows the request, not the client), and then by
+       ``(node, thread, round)`` to bind the round's ``round.won``.
+    """
+
+    def __init__(self):
+        self._records: List[dict] = []
+
+    def add(self, record: dict) -> None:
+        self._records.append(record)
+
+    def add_events(self, records: Iterable[dict]) -> None:
+        for record in records:
+            self.add(record)
+
+    # -- assembly --------------------------------------------------------
+
+    def assemble(self) -> List[OpTimeline]:
+        timelines: Dict[str, OpTimeline] = {}
+        op_to_trace: Dict[Tuple[str, int, int], str] = {}
+        req_to_trace: Dict[Tuple[str, Any], str] = {}
+        round_won: Dict[Tuple[str, Any, Any], dict] = {}
+
+        def timeline(trace_id: str) -> OpTimeline:
+            entry = timelines.get(trace_id)
+            if entry is None:
+                entry = timelines[trace_id] = OpTimeline(trace_id)
+            return entry
+
+        def op_key(record: dict) -> Optional[Tuple[str, int, int]]:
+            group = record.get("op_group")
+            if group is None:
+                return None
+            return (group, record.get("conn"), record.get("seq"))
+
+        # Pass 1: index round winners; create timelines from traced hops.
+        for r in self._records:
+            kind = r.get("kind")
+            if kind == "round.won":
+                round_won[(r.get("node"), r.get("thread"),
+                           r.get("round"))] = r
+                continue
+            if kind == "op.send" and r.get("trace"):
+                entry = timeline(r["trace"])
+                entry.client = r.get("node", "?")
+                entry.method = r.get("method")
+                key = op_key(r)
+                if key is not None:
+                    entry.op = key
+                    op_to_trace[key] = r["trace"]
+                entry.hops.append(Hop("client.send", r.get("node", "?"),
+                                      r.get("t"),
+                                      {"method": r.get("method")}))
+            elif kind == "op.gateway" and r.get("trace"):
+                stage = ("gateway.dedup" if r.get("dedup")
+                         else "gateway.inject")
+                entry = timeline(r["trace"])
+                key = op_key(r)
+                if key is not None:
+                    entry.op = entry.op or key
+                    op_to_trace.setdefault(key, r["trace"])
+                entry.hops.append(Hop(stage, r.get("node", "?"), r.get("t")))
+            elif kind == "op.reply" and r.get("trace"):
+                timeline(r["trace"]).hops.append(
+                    Hop("reply.forward", r.get("node", "?"), r.get("t"),
+                        {"replica": r.get("replica")}))
+            elif kind == "op.reply_recv" and r.get("trace"):
+                timeline(r["trace"]).hops.append(
+                    Hop("reply.recv", r.get("node", "?"), r.get("t"),
+                        {"replies": r.get("replies")}))
+
+        # Pass 2: executions join by trace id or operation identity and
+        # publish the (node, request_index) -> trace mapping.
+        for r in self._records:
+            if r.get("kind") != "op.execute":
+                continue
+            trace_id = r.get("trace") or op_to_trace.get(op_key(r))
+            if trace_id is None:
+                continue
+            node = r.get("node", "?")
+            if r.get("req") is not None:
+                req_to_trace[(node, r["req"])] = trace_id
+            timeline(trace_id).hops.append(
+                Hop("execute", node, r.get("t"),
+                    {"req": r.get("req"), "method": r.get("method")}))
+
+        # Pass 3: serves join by request index; each non-fast serve pulls
+        # in the CCS round that produced its value.
+        for r in self._records:
+            if r.get("kind") != "op.served":
+                continue
+            node = r.get("node", "?")
+            trace_id = req_to_trace.get((node, r.get("req")))
+            if trace_id is None:
+                continue
+            entry = timeline(trace_id)
+            entry.hops.append(
+                Hop("served", node, r.get("t"),
+                    {"round": r.get("round"), "fast": r.get("fast"),
+                     "group_us": r.get("group_us")}))
+            if r.get("round") is not None:
+                winner = round_won.get((node, r.get("thread"),
+                                        r.get("round")))
+                if winner is not None:
+                    entry.hops.append(
+                        Hop("round.won", node, winner.get("t"),
+                            {"round": winner.get("round"),
+                             "winner": winner.get("winner"),
+                             "group_us": winner.get("group_us")}))
+
+        for entry in timelines.values():
+            entry.sort()
+        return sorted(timelines.values(), key=lambda t: t.trace_id)
+
+
+def assemble_timelines(directory: Union[str, Path]) -> List[OpTimeline]:
+    """Convenience: load every shard in ``directory`` and assemble."""
+    assembler = CrossNodeSpanAssembler()
+    assembler.add_events(load_shards(directory))
+    return assembler.assemble()

@@ -73,13 +73,28 @@ def write_jsonl(
     return len(records)
 
 
-def read_jsonl(source: PathOrFile) -> List[dict]:
-    """Parse a dump produced by :func:`write_jsonl`."""
+def read_jsonl(source: PathOrFile, *, strict: bool = False) -> List[dict]:
+    """Parse a dump produced by :func:`write_jsonl`.
+
+    By default malformed lines are skipped — dumps written by a crashing
+    process are routinely truncated mid-line, and trace shards from a
+    killed daemon must still assemble.  Pass ``strict=True`` to raise
+    ``json.JSONDecodeError`` on the first bad line instead.
+    """
     if hasattr(source, "read"):
         lines = source.read().splitlines()
     else:
         lines = Path(source).read_text(encoding="utf-8").splitlines()
-    return [json.loads(line) for line in lines if line.strip()]
+    records: List[dict] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if strict:
+                raise
+    return records
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
+from .. import trace
 from ..errors import ReplicationError
 from ..sim.kernel import AnyOf, Event
 from ..sim.process import Store
@@ -400,6 +401,15 @@ class Replica(abc.ABC):
         invocation = envelope.body
         if index is not None:
             self._active_requests.add(index)
+        if trace.TRACER.enabled:
+            header = envelope.header
+            context = trace.BAGGAGE.get(header.message_id)
+            trace.emit(
+                "op.execute", self.node_id,
+                trace=context.trace_id if context is not None else None,
+                op_group=header.src_grp, conn=header.conn_id,
+                seq=header.msg_seq_num, req=index,
+                method=invocation.method, t=self.sim.now)
         ctx = ReplicaContext(self, self.main_thread_id, request_index=index)
         method = getattr(self.app, invocation.method, None)
         if method is None:

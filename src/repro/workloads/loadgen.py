@@ -36,6 +36,13 @@ def percentile(values: List[int], fraction: float) -> float:
     return float(ordered[rank])
 
 
+#: Upper bounds (microseconds) of the recorded latency histogram —
+#: matches the ``cts_round_latency_us`` instrument, so benchmark runs
+#: and live scrapes bucket identically.
+LATENCY_BUCKETS_US = (50, 100, 200, 400, 800, 1_600, 3_200, 6_400,
+                      12_800, 25_600, 51_200)
+
+
 @dataclass
 class LoadgenResult:
     """One closed-loop measurement with service-side counters."""
@@ -70,6 +77,23 @@ class LoadgenResult:
         return percentile(self.latencies_us, 0.99)
 
     @property
+    def p999_us(self) -> float:
+        return percentile(self.latencies_us, 0.999)
+
+    def latency_buckets(self) -> List[List]:
+        """Cumulative latency histogram: ``[[le_us, count], ...]`` ending
+        with ``["+Inf", total]`` (Prometheus-shaped, JSON-able)."""
+        ordered = sorted(self.latencies_us)
+        buckets: List[List] = []
+        index = 0
+        for bound in LATENCY_BUCKETS_US:
+            while index < len(ordered) and ordered[index] <= bound:
+                index += 1
+            buckets.append([bound, index])
+        buckets.append(["+Inf", len(ordered)])
+        return buckets
+
+    @property
     def ccs_per_op(self) -> float:
         """Total CCS messages on the wire per completed client call.
 
@@ -90,6 +114,8 @@ class LoadgenResult:
             "ops_per_s": round(self.ops_per_s, 1),
             "p50_us": self.p50_us,
             "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "latency_buckets_us": self.latency_buckets(),
             "ccs_per_op": round(self.ccs_per_op, 4),
             "ccs_transmitted": self.ccs_transmitted,
             "rounds_completed": self.rounds_completed,

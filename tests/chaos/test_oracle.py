@@ -113,6 +113,33 @@ class TestAgreement:
             oracle.detach()
         assert oracle.rounds_checked == 0
 
+    def test_node_violation_carries_recent_client_traces(self):
+        # An agreement violation's subject is a node, which has no calls
+        # of its own: the violation must still link the recent client
+        # traffic so the timelines around the divergence can be pulled.
+        oracle = InvariantOracle().attach()
+        try:
+            oracle.observe_reply("c0", 100, wall_s=0.0, trace_id="t-one")
+            oracle.observe_reply("c1", 200, wall_s=0.0, trace_id="t-two")
+            trace.emit("round.complete", "n0",
+                       thread="t", round=1, group_us=500)
+            trace.emit("round.complete", "n1",
+                       thread="t", round=1, group_us=501)
+        finally:
+            oracle.detach()
+        assert checks(oracle) == ["agreement"]
+        assert oracle.violations[0].trace_ids == ["t-one", "t-two"]
+
+    def test_client_traces_are_bounded(self):
+        oracle = InvariantOracle()
+        for i in range(30):
+            oracle.observe_reply("c0", 100 * (i + 1), wall_s=i * 1e-4,
+                                 trace_id=f"t{i}")
+        oracle.observe_reply("c0", 50, wall_s=0.01, trace_id="t-last")
+        (violation,) = oracle.violations
+        assert len(violation.trace_ids) <= 16
+        assert "t-last" in violation.trace_ids
+
 
 class _FakeState:
     def __init__(self, history):

@@ -10,6 +10,7 @@ zero invariant violations.
 import pytest
 
 from repro.chaos import ChaosScenario, compile_plan, run_chaos
+from repro.obs.crossnode import shard_path
 
 pytestmark = pytest.mark.live
 
@@ -54,3 +55,33 @@ class TestRunChaos:
         assert clients["error_rate"] <= 0.25
         # Every client call went through a gateway exactly once.
         assert verdict["gateway"]["requests_injected"] > 0
+        # No artifacts directory: no trace section, no tracing overhead.
+        assert "trace" not in verdict
+
+    def test_artifacts_dir_yields_assembled_timelines(self, tmp_path):
+        scenario = ChaosScenario(
+            name="traced", node_ids=["n0", "n1", "n2"],
+            duration_s=2.0, clients=1,
+            events=[{"at": 0.5, "drop": 0.02}])
+        verdict = run_chaos(scenario, seed=11,
+                            artifacts_dir=str(tmp_path))
+
+        assert verdict["ok"], verdict["oracle"]["violations"]
+        # Per-node shards were written: every daemon node plus the client.
+        for node in ("n0", "n1", "n2", "chaos0"):
+            assert shard_path(tmp_path, node).exists(), node
+        trace_section = verdict["trace"]
+        assert trace_section["shard_dir"] == str(tmp_path)
+        assert trace_section["records"] > 0
+        assert trace_section["timelines"] > 0
+        # The acceptance criterion: at least one end-to-end timeline
+        # (client send -> gateway -> execute -> round won -> served ->
+        # reply received) was stitched from the per-node shards.
+        assert trace_section["complete"] >= 1
+        example = trace_section["example"]
+        assert example["complete"] is True
+        stages = {hop["stage"] for hop in example["hops"]}
+        assert {"client.send", "gateway.inject", "served",
+                "round.won", "reply.recv"} <= stages
+        # A clean run dumps nothing, but the key is always present.
+        assert verdict["flight_dumps"] == []

@@ -15,14 +15,19 @@ from repro.net.wire import (
     MAGIC,
     WIRE_VERSION,
     decode_frame,
+    decode_frame_ex,
     decode_payload,
     encode_frame,
     encode_payload,
     frame,
     unframe,
+    unframe_ex,
 )
 from repro.replication import MsgType, make_envelope
+from repro.replication.codec import _pack_str
 from repro.rpc import Invocation
+from repro.totem.messages import LostMessage
+from repro.trace import TraceContext
 
 
 def sample_envelope():
@@ -70,6 +75,91 @@ class TestFraming:
         data = frame("n0", encode_payload(sample_envelope()) + b"\x00")
         with pytest.raises(FrameError, match="trailing bytes"):
             decode_frame(data)
+
+
+class TestTraceField:
+    def test_trace_context_roundtrips(self):
+        tctx = TraceContext("00ab00ab00ab00ab", "client.c1")
+        data = encode_frame("n0", sample_envelope(), trace=tctx)
+        src, payload, decoded = decode_frame_ex(data)
+        assert src == "n0"
+        assert payload == sample_envelope()
+        assert decoded == tctx
+        assert decoded.parent == "client.c1"
+
+    def test_two_tuple_contract_drops_the_trace(self):
+        tctx = TraceContext("00ab00ab00ab00ab", "client.c1")
+        data = encode_frame("n0", sample_envelope(), trace=tctx)
+        src, payload = decode_frame(data)
+        assert src == "n0"
+        assert payload == sample_envelope()
+        src, payload_bytes = unframe(data)
+        assert src == "n0"
+
+    def test_frame_without_trace_decodes_to_none(self):
+        data = encode_frame("n0", sample_envelope())
+        _, _, decoded = decode_frame_ex(data)
+        assert decoded is None
+
+    def test_v2_frame_without_flags_byte_decodes(self):
+        payload_bytes = encode_payload(sample_envelope())
+        body = _pack_str("n1") + payload_bytes
+        data = MAGIC + bytes([2]) + struct.pack("<I", len(body)) + body
+        src, decoded, tctx = decode_frame_ex(data)
+        assert src == "n1"
+        assert decoded == sample_envelope()
+        assert tctx is None
+
+    def test_unknown_flag_bits_rejected(self):
+        body = _pack_str("n0") + bytes([0x80]) + b"x"
+        data = MAGIC + bytes([WIRE_VERSION]) + struct.pack("<I", len(body)) + body
+        with pytest.raises(FrameError, match="unknown frame flags") as exc:
+            unframe_ex(data)
+        assert exc.value.reason == "trace"
+
+    def test_truncated_trace_context_rejected(self):
+        tctx = TraceContext("00ab00ab00ab00ab", "client.c1")
+        data = frame("n0", b"", trace=tctx)
+        # Chop the body mid trace-id; patch the length so only the trace
+        # field (not the frame length check) can reject it.
+        body = data[HEADER_SIZE:][:-10]
+        cut = MAGIC + bytes([WIRE_VERSION]) + struct.pack("<I", len(body)) + body
+        with pytest.raises(FrameError) as exc:
+            unframe_ex(cut)
+        assert exc.value.reason == "trace"
+
+    def test_missing_flags_byte_rejected_as_truncated(self):
+        body = _pack_str("n0")  # v3 body that ends before the flags byte
+        data = MAGIC + bytes([WIRE_VERSION]) + struct.pack("<I", len(body)) + body
+        with pytest.raises(FrameError, match="flags byte") as exc:
+            unframe_ex(data)
+        assert exc.value.reason == "truncated"
+
+    def test_rejection_reasons_are_machine_readable(self):
+        cases = [
+            (b"CT\x01", "truncated"),
+            (b"XX\x03" + struct.pack("<I", 0), "magic"),
+            (MAGIC + bytes([WIRE_VERSION + 1]) + struct.pack("<I", 0), "version"),
+            (frame("n0", b"x") + b"zz", "length"),
+        ]
+        for data, reason in cases:
+            with pytest.raises(FrameError) as exc:
+                unframe(data)
+            assert exc.value.reason == reason, data
+
+    def test_trailing_garbage_reason(self):
+        # LostMessage is fixed-size, so the framing layer (not the
+        # payload codec) sees the leftover byte.
+        data = frame("n0", encode_payload(LostMessage()) + b"\x00")
+        with pytest.raises(FrameError) as exc:
+            decode_frame(data)
+        assert exc.value.reason == "trailing"
+
+    def test_envelope_trailing_garbage_is_a_payload_error(self):
+        data = frame("n0", encode_payload(sample_envelope()) + b"\x00")
+        with pytest.raises(FrameError) as exc:
+            decode_frame(data)
+        assert exc.value.reason == "payload"
 
 
 class TestPayloads:

@@ -100,10 +100,26 @@ class TestFrameRejection:
         counter = obs.REGISTRY.counter("udp_datagrams_rejected_total")
         obs.REGISTRY.enable()
         try:
-            before = counter.value(node="n0")
+            before = counter.value(node="n0", reason="truncated")
             probe.sendto(b"CT", port.address)
             pump(kernel)
-            after = counter.value(node="n0")
+            after = counter.value(node="n0", reason="truncated")
         finally:
             obs.REGISTRY.disable()
         assert after == before + 1
+
+    def test_rejection_reasons_are_tallied_per_port(self, live_port):
+        kernel, port, probe, received = live_port
+        probe.sendto(b"CT", port.address)                  # truncated header
+        bad_magic = bytearray(valid_frame())
+        bad_magic[0:2] = b"XX"
+        probe.sendto(bytes(bad_magic), port.address)
+        stale = bytearray(valid_frame())
+        stale[2] = WIRE_VERSION + 1
+        probe.sendto(bytes(stale), port.address)
+        probe.sendto(valid_frame() + b"junk", port.address)
+        pump(kernel)
+        assert port.rejected_by_reason == {
+            "truncated": 1, "magic": 1, "version": 1, "length": 1,
+        }
+        assert port.frames_rejected == 4

@@ -45,6 +45,27 @@ class TestJsonl:
         buffer.seek(0)
         assert len(export.read_jsonl(buffer)) == 3
 
+    def test_garbage_lines_are_skipped_by_default(self, tmp_path):
+        target = tmp_path / "dump.jsonl"
+        target.write_text(
+            '{"record": "metric", "name": "a", "value": 1}\n'
+            "\n"
+            '{"record": "metric", "name": "b", "va\n'  # truncated mid-line
+            "not json at all\n"
+            '{"record": "metric", "name": "c", "value": 3}\n')
+        records = export.read_jsonl(target)
+        assert [r["name"] for r in records] == ["a", "c"]
+
+    def test_strict_mode_raises_on_the_first_bad_line(self, tmp_path):
+        import json
+
+        target = tmp_path / "dump.jsonl"
+        target.write_text(
+            '{"record": "metric", "name": "a", "value": 1}\n'
+            "garbage\n")
+        with pytest.raises(json.JSONDecodeError):
+            export.read_jsonl(target, strict=True)
+
     def test_embeds_trace_events_and_spans(self, tmp_path):
         registry = populated_registry()
         events = [trace.TraceEvent("round.start", "n1",
@@ -93,6 +114,17 @@ class TestPrometheusText:
         registry.counter("c").inc(name='quo"te\\slash')
         text = export.prometheus_text(registry)
         assert r'c{name="quo\"te\\slash"} 1' in text
+
+    def test_newlines_in_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.counter("c").inc(name="line1\nline2")
+        text = export.prometheus_text(registry)
+        assert r'c{name="line1\nline2"} 1' in text
+        # The rendered sample must stay on one physical line.
+        (sample_line,) = [line for line in text.splitlines()
+                          if line.startswith("c{")]
+        assert sample_line == r'c{name="line1\nline2"} 1'
 
 
 class TestSummaryTable:

@@ -133,3 +133,52 @@ class TestObservability:
         counter = obs.REGISTRY.get("ccs_rounds_total")
         assert counter is not None
         assert counter.total() == 0
+
+
+class TestTraceCommand:
+    def write_shards(self, directory):
+        import json
+
+        from repro.obs.crossnode import shard_path
+        from tests.obs.test_crossnode import synthetic_op
+
+        records = synthetic_op("feed00feed00feed")
+        by_node = {}
+        for record in records:
+            by_node.setdefault(record["node"], []).append(record)
+        for node, recs in by_node.items():
+            shard_path(directory, node).write_text(
+                "".join(json.dumps(r) + "\n" for r in recs))
+
+    def test_renders_assembled_timelines(self, tmp_path, capsys):
+        self.write_shards(tmp_path)
+        assert main(["trace", "--shards", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "feed00feed00feed" in captured.out
+        assert "client.send@c0" in captured.out
+        assert "reply.recv@c0" in captured.out
+
+    def test_jsonl_mode_and_trace_id_filter(self, tmp_path, capsys):
+        self.write_shards(tmp_path)
+        assert main(["trace", "--shards", str(tmp_path),
+                     "--trace-id", "feed00feed00feed", "--jsonl"]) == 0
+        import json
+
+        (line,) = capsys.readouterr().out.splitlines()
+        timeline = json.loads(line)
+        assert timeline["trace_id"] == "feed00feed00feed"
+        assert timeline["complete"] is True
+
+    def test_unknown_trace_id_fails(self, tmp_path, capsys):
+        self.write_shards(tmp_path)
+        assert main(["trace", "--shards", str(tmp_path),
+                     "--trace-id", "dead"]) == 1
+        capsys.readouterr()
+
+    def test_missing_shard_dir_fails(self, tmp_path, capsys):
+        assert main(["trace", "--shards", str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
+
+    def test_empty_shard_dir_fails(self, tmp_path, capsys):
+        assert main(["trace", "--shards", str(tmp_path)]) == 1
+        capsys.readouterr()

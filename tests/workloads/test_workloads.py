@@ -180,3 +180,35 @@ class TestLoadgenChaos:
         doc = record_benchmark(path, {result.mode: result})
         assert doc["runs"][-1]["modes"]["chaos"]["completed"] > 0
         assert "retries" in doc["runs"][-1]["modes"]["chaos"]
+
+
+class TestLoadgenTailStats:
+    def make_result(self, latencies):
+        from repro.workloads.loadgen import LoadgenResult
+
+        return LoadgenResult(mode="test", concurrency=1, duration_s=1.0,
+                             completed=len(latencies),
+                             latencies_us=list(latencies))
+
+    def test_p999_sits_at_the_tail(self):
+        result = self.make_result(list(range(1, 1001)))
+        assert result.p99_us < result.p999_us <= 1000
+
+    def test_latency_buckets_are_cumulative(self):
+        from repro.workloads.loadgen import LATENCY_BUCKETS_US
+
+        result = self.make_result([30, 60, 60, 450, 100_000])
+        buckets = result.latency_buckets()
+        assert [b[0] for b in buckets] == list(LATENCY_BUCKETS_US) + ["+Inf"]
+        assert buckets[0] == [50, 1]
+        assert buckets[1] == [100, 3]
+        assert buckets[4] == [800, 4]
+        assert buckets[-1] == ["+Inf", 5]
+        counts = [b[1] for b in buckets]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+
+    def test_to_dict_carries_tail_and_buckets(self):
+        result = self.make_result([100, 200, 300])
+        data = result.to_dict()
+        assert data["p999_us"] == result.p999_us
+        assert data["latency_buckets_us"] == result.latency_buckets()
