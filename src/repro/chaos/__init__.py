@@ -16,22 +16,29 @@ testable against real sockets, reproducibly:
   replies and telemetry during a run and checks the paper's guarantees
   online (per-client monotonicity, cross-replica agreement per round,
   bounded staleness, offset re-derivation after failover);
+* :mod:`repro.chaos.byzantine` — replicas that *lie* instead of
+  crashing: seeded ``lie``/``equivocate`` wire perturbation and the
+  ``corrupt-state`` scrambler exercised by the authenticated Byzantine
+  mode (``auth: true`` in a scenario);
 * :mod:`repro.chaos.runner` — the ``python -m repro chaos`` harness: a
   live cluster on loopback UDP under a scenario, gateway clients
   hammering it, the oracle watching, a JSON verdict out.
 """
 
+from .byzantine import ByzantineRules, corrupt_time_state
 from .oracle import InvariantOracle, Violation
 from .scenario import ChaosScenario, compile_plan, load_scenario
 from .transport import ChaosTransport
 from .runner import run_chaos
 
 __all__ = [
+    "ByzantineRules",
     "ChaosScenario",
     "ChaosTransport",
     "InvariantOracle",
     "Violation",
     "compile_plan",
+    "corrupt_time_state",
     "load_scenario",
     "run_chaos",
 ]

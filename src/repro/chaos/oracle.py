@@ -23,6 +23,14 @@ being injected*:
   offset was re-derived from the special integration round rather than
   inherited stale).
 
+In Byzantine runs the guarantees are judged among the *correct*
+replicas only: :meth:`InvariantOracle.mark_faulty` excludes a liar's
+commits from the agreement check entirely (f < n/3 faulty tolerated),
+and :meth:`InvariantOracle.note_corruption` opens a bounded repair
+window for a correct replica whose state was scrambled — agreement is
+re-enforced once the window closes, and a replica that never completes
+a round beyond it is flagged as failing to self-stabilize.
+
 Violations carry the offending transcript; the oracle never raises
 mid-run, so one broken invariant cannot mask later ones.
 """
@@ -102,6 +110,14 @@ class InvariantOracle:
         #: node -> rounds completed (split by recovery marks)
         self._rounds_by_node: Dict[str, int] = {}
         self._recovered: Dict[str, int] = {}  # node -> rounds at recovery
+        #: Byzantine replicas: their commits are excluded from the
+        #: agreement check entirely — with f < n/3 faulty the guarantees
+        #: hold among the correct replicas only.
+        self._faulty: set = set()
+        #: node -> (rounds at corruption, allowed repair rounds).  While
+        #: a corrupted-but-correct replica is inside its repair window
+        #: its commits are excluded; afterwards agreement is re-enforced.
+        self._corrupted: Dict[str, Tuple[int, int]] = {}
         self._unsubscribe = None
 
     # -- lifecycle -------------------------------------------------------
@@ -171,6 +187,37 @@ class InvariantOracle:
         are checked by :meth:`finish`)."""
         self._recovered[node_id] = self._rounds_by_node.get(node_id, 0)
 
+    def mark_faulty(self, node_id: str) -> None:
+        """Declare ``node_id`` Byzantine for the whole run: none of its
+        commits participate in the agreement check (neither as the
+        reference value nor as a comparand), and its post-run history is
+        not audited — a liar owes us nothing.  The correct replicas must
+        still agree among themselves."""
+        self._faulty.add(node_id)
+
+    def note_corruption(self, node_id: str, *, round_bound: int = 2) -> None:
+        """Record that a *correct* replica's state was scrambled now.
+
+        For the next ``round_bound`` completed rounds the replica is in
+        its self-stabilization window and its commits are excluded from
+        agreement; after that the oracle re-enforces agreement, and
+        :meth:`finish` flags a ``stabilization`` violation if the node
+        never completed a round beyond the window (it failed to
+        reconverge)."""
+        self._corrupted[node_id] = (
+            self._rounds_by_node.get(node_id, 0), round_bound)
+
+    def _excluded(self, node: str) -> bool:
+        """True while ``node``'s commits sit outside the agreement set."""
+        if node in self._faulty:
+            return True
+        window = self._corrupted.get(node)
+        if window is not None:
+            rounds_at, bound = window
+            if self._rounds_by_node.get(node, 0) - rounds_at <= bound:
+                return True
+        return False
+
     def _on_trace(self, event) -> None:
         if event.kind != "round.complete":
             return
@@ -179,6 +226,8 @@ class InvariantOracle:
         key = (event.fields.get("thread"), event.fields.get("round"))
         self.rounds_checked += 1
         self._rounds_by_node[node] = self._rounds_by_node.get(node, 0) + 1
+        if self._excluded(node):
+            return
         seen = self._rounds.get(key)
         if seen is None:
             self._rounds[key] = (group_us, node)
@@ -196,6 +245,8 @@ class InvariantOracle:
         self.detach()
         if bed is not None and group is not None and group in bed.services:
             for node_id, replica in bed.replicas(group).items():
+                if node_id in self._faulty:
+                    continue  # a Byzantine replica owes no identity
                 state = getattr(replica.time_source, "clock_state", None)
                 if state is None:
                     continue  # baseline source; nothing to re-derive
@@ -216,6 +267,18 @@ class InvariantOracle:
                     "recovered replica completed no CCS round after "
                     "recovery — its clock offset was never re-derived",
                     [("rounds_before_recovery", rounds_before)])
+        for node_id, (rounds_at, bound) in self._corrupted.items():
+            if node_id in self._faulty:
+                continue  # corruption of a liar proves nothing
+            completed = self._rounds_by_node.get(node_id, 0) - rounds_at
+            if completed <= bound:
+                self._flag(
+                    "stabilization", node_id,
+                    f"corrupted replica completed only {completed} round(s) "
+                    f"afterwards — never left its {bound}-round repair "
+                    f"window, so reconvergence was not demonstrated",
+                    [("rounds_at_corruption", rounds_at),
+                     ("round_bound", bound)])
 
     # -- results ---------------------------------------------------------
 
@@ -256,5 +319,7 @@ class InvariantOracle:
             "replies_checked": self.replies_checked,
             "rounds_checked": self.rounds_checked,
             "clients": len(self._replies),
+            "faulty": sorted(self._faulty),
+            "corrupted": sorted(self._corrupted),
             "violations": [v.as_dict() for v in self.violations],
         }

@@ -145,16 +145,24 @@ def run_chaos(
                              dump_dir=artifacts_dir)
     gateways: list = []
 
+    byzantine = scenario.auth
     bed = LiveTestbed(node_ids=scenario.node_ids, seed=seed,
-                      chaos_seed=seed)
+                      chaos_seed=seed,
+                      auth_secret=f"chaos-{seed}" if byzantine else None)
     try:
         bed.deploy(GROUP, TimeApp, nodes=scenario.node_ids,
                    style="active", time_source="cts",
-                   fast_path=fast_path, max_staleness_us=max_staleness_us)
+                   fast_path=fast_path, max_staleness_us=max_staleness_us,
+                   byzantine=byzantine)
         bed.start()
         for node_id in scenario.node_ids:
             _install_gateway(bed, node_id, gateways)
         oracle.attach()
+        # A replica scripted to lie or equivocate is Byzantine for the
+        # whole run: the oracle judges agreement among the others.
+        for event in plan.schedule():
+            if event.kind in ("lie", "equivocate"):
+                oracle.mark_faulty(event.target[0])
 
         plan.arm(bed)
         # The daemon-restart half of every recover event: re-add the
@@ -167,11 +175,17 @@ def run_chaos(
             bed.add_replica(GROUP, node_id, TimeApp,
                             style="active", time_source="cts",
                             fast_path=fast_path,
-                            max_staleness_us=max_staleness_us)
+                            max_staleness_us=max_staleness_us,
+                            byzantine=byzantine)
 
         for event in plan.schedule():
             if event.kind == "recover":
                 bed.sim.schedule(event.at_s, _restart, event.target[0])
+            elif event.kind == "corrupt-state":
+                # The plan's injection (same tick, armed first) scrambles
+                # the state; this opens the oracle's repair window.
+                bed.sim.schedule(event.at_s, oracle.note_corruption,
+                                 event.target[0])
 
         servers = [bed.node(node_id).address
                    for node_id in scenario.node_ids]
@@ -210,6 +224,22 @@ def run_chaos(
                 "frames_delayed": bed.chaos.frames_delayed,
                 "frames_duplicated": bed.chaos.frames_duplicated,
                 "frames_blocked": bed.chaos.frames_blocked,
+                "frames_perturbed": bed.chaos.frames_perturbed,
+            },
+            "byzantine": {
+                "enabled": byzantine,
+                "frames_signed": (
+                    bed.auth.frames_signed if bed.auth else 0),
+                "frames_verified": (
+                    bed.auth.frames_verified if bed.auth else 0),
+                "winners_rejected": sum(
+                    getattr(getattr(r.time_source, "stats", None),
+                            "winners_rejected", 0)
+                    for r in bed.replicas(GROUP).values()),
+                "stabilizations": sum(
+                    getattr(getattr(r.time_source, "stats", None),
+                            "stabilizations", 0)
+                    for r in bed.replicas(GROUP).values()),
             },
             "clients": {
                 "count": n_clients,

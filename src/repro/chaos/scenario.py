@@ -23,7 +23,12 @@ builders: ``crash``, ``recover``, ``isolate`` (node id), ``heal``
 (ignored value), ``partition`` (list of disjoint node lists), ``drop`` /
 ``duplicate`` / ``reorder`` (probability, optional ``src``/``dst``,
 ``reorder`` also takes ``window``), ``delay`` (seconds, optional
-``jitter``/``src``/``dst``).
+``jitter``/``src``/``dst``), ``lie`` (node id plus ``bias`` in
+microseconds; 0 stops it), ``equivocate`` (node id plus ``spread`` in
+microseconds; 0 stops it), ``corrupt-state`` (node id).  A top-level
+``auth: true`` turns on the authenticated-Byzantine mode: ring frames
+carry HMACs and the time service arms its winner sanity filter and
+self-stabilization path.
 
 Files are parsed with a built-in YAML *subset* — block mappings, block
 lists, inline flow lists, plain scalars, comments — because the
@@ -216,7 +221,8 @@ def _parse_mapping(lines, index: int, indent: int):
 
 #: Event keys that identify the fault kind within an event mapping.
 _KIND_KEYS = ("crash", "recover", "isolate", "heal", "partition", "drop",
-              "delay", "duplicate", "reorder")
+              "delay", "duplicate", "reorder", "lie", "equivocate",
+              "corrupt-state")
 
 
 @dataclass
@@ -228,6 +234,9 @@ class ChaosScenario:
     duration_s: float
     clients: int = 2
     events: List[Dict[str, Any]] = field(default_factory=list)
+    #: Authenticated-Byzantine mode: sign/verify ring frames with HMAC
+    #: and enable the CTS winner sanity filter + self-stabilization.
+    auth: bool = False
 
     @property
     def n_nodes(self) -> int:
@@ -249,7 +258,8 @@ def scenario_from_dict(data: Any, *, source: str = "<scenario>") -> ChaosScenari
     if not isinstance(data, dict):
         raise ConfigurationError(
             f"{source}: scenario must be a mapping, got {type(data).__name__}")
-    known = {"name", "nodes", "duration", "duration_s", "clients", "events"}
+    known = {"name", "nodes", "duration", "duration_s", "clients", "events",
+             "auth"}
     unknown = set(data) - known
     if unknown:
         raise ConfigurationError(
@@ -297,6 +307,7 @@ def scenario_from_dict(data: Any, *, source: str = "<scenario>") -> ChaosScenari
         duration_s=float(duration),
         clients=clients,
         events=events,
+        auth=bool(data.get("auth", False)),
     )
 
 
@@ -342,6 +353,14 @@ def compile_plan(scenario: ChaosScenario) -> FaultPlan:
                 plan.reorder(float(event["reorder"]), at=at,
                              window_s=float(event.get("window", 0.01)),
                              src=src, dst=dst)
+            elif "lie" in event:
+                plan.lie(str(event["lie"]),
+                         bias_us=int(event.get("bias", 0)), at=at)
+            elif "equivocate" in event:
+                plan.equivocate(str(event["equivocate"]),
+                                spread_us=int(event.get("spread", 0)), at=at)
+            elif "corrupt-state" in event:
+                plan.corrupt_state(str(event["corrupt-state"]), at=at)
         except ConfigurationError as exc:
             raise ConfigurationError(
                 f"{scenario.name}: event #{i}: {exc}") from exc

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from .. import obs
 from ..errors import NetworkError
 from ..net.transport import Transport, TransportPort
+from .byzantine import ByzantineRules
 
 M_CHAOS_DROPPED = obs.REGISTRY.counter(
     "chaos_frames_dropped_total", "frames lost to injected loss")
@@ -139,6 +140,10 @@ class ChaosTransport(Transport):
         self._isolated: Set[str] = set()
         self._rngs: Dict[Tuple[str, str], random.Random] = {}
         self._attached: List[str] = []
+        #: Byzantine lie/equivocation rules, applied to every outgoing
+        #: leg *including self-delivery* (a liar hears its own lie) and
+        #: *before* the crash/omission decision procedure.
+        self.byzantine = ByzantineRules(seed=seed)
         # Injection tally for verdicts and tests.
         self.frames_dropped = 0
         self.frames_delayed = 0
@@ -220,9 +225,22 @@ class ChaosTransport(Transport):
         self._isolated = set()
 
     def clear(self) -> None:
-        """Reset every impairment and partition — the quiet wire."""
+        """Reset every impairment, partition and lie — the quiet wire."""
         self.heal()
         self._rules = {}
+        self.byzantine.clear()
+
+    # -- Byzantine rules (delegation sugar for FaultPlan._inject) -------
+
+    def set_lie(self, node_id: str, bias_us: int) -> None:
+        self.byzantine.set_lie(node_id, bias_us)
+
+    def set_equivocate(self, node_id: str, spread_us: int) -> None:
+        self.byzantine.set_equivocate(node_id, spread_us)
+
+    @property
+    def frames_perturbed(self) -> int:
+        return self.byzantine.frames_perturbed
 
     def reachable(self, src: str, dst: str) -> bool:
         if src == dst:
@@ -294,6 +312,12 @@ class ChaosTransport(Transport):
 
     def _send(self, inner_port: TransportPort, src: str, dst: str,
               payload: Any, size_bytes: int) -> None:
+        # Byzantine perturbation applies before — and regardless of —
+        # the crash/omission decision: the self-delivery leg is exempt
+        # from drops but NOT from the node's own lie, so a faulty node
+        # processes exactly the proposal it multicast and its local
+        # state stays consistent with its observable behaviour.
+        payload = self.byzantine.perturb(src, dst, payload)
         delays = self.decide(src, dst)
         if delays is None:
             return

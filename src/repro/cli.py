@@ -487,6 +487,7 @@ def cmd_serve(args) -> int:
         join_existing=args.join,
         metrics_port=args.metrics_port,
         trace_dir=args.trace_dir,
+        auth_key=args.auth_key,
     )
     try:
         daemon = NodeDaemon(config)
@@ -831,6 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="serve: write this node's trace shard "
                            "(trace-<node>.jsonl) into DIR and keep the "
                            "flight recorder running (dumped on crash)")
+    live.add_argument("--auth-key", default=None, metavar="SECRET",
+                      help="serve: shared secret for the authenticated "
+                           "Byzantine-tolerant mode — ring frames carry "
+                           "HMACs and the time service filters implausible "
+                           "round winners (same secret on every daemon)")
     return parser
 
 

@@ -88,6 +88,20 @@ class GroupClockState:
         if self.causal_floor_us is None or timestamp_us > self.causal_floor_us:
             self.causal_floor_us = timestamp_us
 
+    def stabilize(self) -> None:
+        """Self-stabilization repair: drop every monotonicity floor.
+
+        Called by the Byzantine-mode recovery path when the floors are
+        provably implausible (they sit far above a freshly agreed group
+        value, so they came from corrupted state, not from real rounds).
+        The next commit re-derives ``offset_us`` and re-anchors every
+        floor from the agreed value; ``history`` is untouched — it is
+        the audit trail the invariant oracle re-derives offsets from.
+        """
+        self.last_group_us = None
+        self.causal_floor_us = None
+        self.fast_floor_us = None
+
     # -- reporting ---------------------------------------------------------
 
     @property

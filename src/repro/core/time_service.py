@@ -124,6 +124,14 @@ M_FAST_STALENESS = obs.REGISTRY.histogram(
 M_STALENESS_BUDGET = obs.REGISTRY.gauge(
     "cts_max_staleness_us",
     "configured fast-path staleness budget", unit="us")
+M_WINNERS_REJECTED = obs.REGISTRY.counter(
+    "ccs_winners_rejected_total",
+    "ordered CCS winners rejected by the Byzantine sanity filter, "
+    "labelled by reason (too-high, too-low)")
+M_STABILIZATIONS = obs.REGISTRY.counter(
+    "cts_stabilizations_total",
+    "self-stabilization repairs of scrambled local state, labelled by "
+    "what was repaired (round-counter, watermark, floors, fast-floor)")
 
 
 @dataclass
@@ -150,6 +158,10 @@ class CTSStats:
     fast_path_hits: int = 0
     #: Fast-path attempts that fell back to a full round.
     fast_path_fallbacks: int = 0
+    #: Ordered round winners rejected by the Byzantine sanity filter.
+    winners_rejected: int = 0
+    #: Self-stabilization repairs of scrambled local state.
+    stabilizations: int = 0
 
     @property
     def ccs_transmitted(self) -> int:
@@ -180,6 +192,11 @@ class ConsistentTimeService(TimeSource):
         fast_path: bool = False,
         max_staleness_us: int = 2_000,
         drift_bound: Optional[DriftBound] = None,
+        byzantine: bool = False,
+        byz_window_us: int = 10_000,
+        byz_lag_us: int = 250_000,
+        stabilize_value_gap_us: int = 10_000_000,
+        stabilize_round_gap: int = 10_000,
     ):
         if mode not in (MODE_ACTIVE, MODE_PRIMARY):
             raise TimeServiceError(f"unknown mode {mode!r}")
@@ -187,6 +204,13 @@ class ConsistentTimeService(TimeSource):
             raise TimeServiceError(
                 "the drift-bounded fast path requires coalesced rounds "
                 "(fast_path=True with coalesce=False)"
+            )
+        if byzantine and not coalesce:
+            raise TimeServiceError(
+                "byzantine mode requires coalesced rounds: a rejected "
+                "proposal of ours must be recoverable by another "
+                "replica's covering round (byzantine=True with "
+                "coalesce=False)"
             )
         self.replica = replica
         self.node = replica.node
@@ -201,6 +225,35 @@ class ConsistentTimeService(TimeSource):
         self.fast_path = fast_path
         self.max_staleness_us = int(max_staleness_us)
         self.drift_bound = drift_bound or DriftBound()
+        #: Byzantine mode (WALDEN-style accuracy filter + Herman-style
+        #: bounded-round self-stabilization).  Ordered round winners
+        #: whose value falls outside the drift-certified window are
+        #: rejected; implausible local state (round counters, watermarks
+        #: and floors that no real round could have produced) is repaired
+        #: instead of trusted.
+        self.byzantine = byzantine
+        #: High-side slack of the certified window: a winner may exceed
+        #: ``last_group + elapsed + drift_error`` by at most this much.
+        self.byz_window_us = int(byz_window_us)
+        #: Low-side slack: legitimate concurrent proposals may be ordered
+        #: up to this far behind the latest committed group value.
+        self.byz_lag_us = int(byz_lag_us)
+        #: A floor this far above a freshly agreed value is corruption,
+        #: not history — stabilize rather than poison proposals.
+        self.stabilize_value_gap_us = int(stabilize_value_gap_us)
+        #: A duplicate-detection watermark this far ahead of live rounds
+        #: is corruption — reset it rather than discard rounds forever.
+        self.stabilize_round_gap = int(stabilize_round_gap)
+        #: Distinct senders whose ordered values must disagree with our
+        #: certified window (by a corruption-scale gap, on the same
+        #: side) before we conclude *our* anchor is the corrupted
+        #: outlier and stabilize.  Two is sound for f = 1; raise it to
+        #: f + 1 for larger fault budgets.
+        self.stabilize_quorum = 2
+        #: side ("too-high"/"too-low") -> {sender: most conservative
+        #: rejected value} since the last accepted winner.
+        self._reject_evidence: Dict[str, Dict[str, int]] = {
+            "too-high": {}, "too-low": {}}
         #: The replica runtime pipelines request execution (overlapping
         #: clock reads) only when the time source can serve them.
         self.supports_concurrent_reads = coalesce
@@ -443,6 +496,30 @@ class ConsistentTimeService(TimeSource):
         value = self.clock_state.clamp_to_floor(
             self.drift.adjust_proposal(self.clock_state.propose(physical_us))
         )
+        if self.byzantine:
+            hi = (self.clock_state.last_group_us + elapsed
+                  + self.drift_bound.error_us(elapsed) + self.byz_window_us)
+            if value > hi:
+                # Corrupted local state (offset or a floor) would leak
+                # straight to a client here.  Repair what is provably
+                # implausible and fall back to a full round.
+                state = self.clock_state
+                repaired = []
+                if state.fast_floor_us is not None and state.fast_floor_us > hi:
+                    state.fast_floor_us = None
+                    repaired.append("fast")
+                if (
+                    state.causal_floor_us is not None
+                    and state.causal_floor_us > hi
+                ):
+                    state.causal_floor_us = None
+                    repaired.append("causal")
+                if repaired:
+                    self._note_stabilization("fast-floor", floors=repaired)
+                self.stats.fast_path_fallbacks += 1
+                if obs.REGISTRY.enabled:
+                    M_FAST_FALLBACKS.inc(node=self.node_id)
+                return None
         self.clock_state.note_fast_value(value)
         return value
 
@@ -470,6 +547,18 @@ class ConsistentTimeService(TimeSource):
             # reply handed to this replica's clients must not step
             # backwards past a fast read it already served.
             floor = self.clock_state.fast_floor_us
+            if (
+                self.byzantine
+                and floor is not None
+                and floor - value_us > self.stabilize_value_gap_us
+            ):
+                # A floor that far above the agreed group value is not a
+                # fast read we served — it is corrupted state, and
+                # clamping would hand the corruption to a client.  Drop
+                # it; monotonicity is re-anchored by this round's value.
+                self.clock_state.fast_floor_us = None
+                self._note_stabilization("fast-floor", floors=["fast"])
+                floor = None
             if floor is not None and value_us <= floor:
                 value_us = floor + 1
             self.clock_state.note_fast_value(value_us)
@@ -512,14 +601,33 @@ class ConsistentTimeService(TimeSource):
         binds to this round (Figure 2 lines 15-17, amortized)."""
         msg = handler.pop_message()
         if msg.round_number != handler.my_round_number + 1:
-            raise TimeServiceError(
-                f"thread {handler.my_thread_id!r}: buffered CCS round "
-                f"{msg.round_number} does not follow consumption point "
-                f"{handler.my_round_number}"
-            )
+            if not self.byzantine:
+                raise TimeServiceError(
+                    f"thread {handler.my_thread_id!r}: buffered CCS round "
+                    f"{msg.round_number} does not follow consumption point "
+                    f"{handler.my_round_number}"
+                )
+            # Self-stabilization (Herman-style): a consumption point that
+            # does not line up with the totally ordered round stream is
+            # corrupted local state.  The ordered stream is the ground
+            # truth every correct replica shares — adopt its numbering.
+            self._note_stabilization(
+                "round-counter", thread=handler.my_thread_id,
+                had=handler.my_round_number, adopted=msg.round_number - 1)
+            if (
+                handler.in_flight is not None
+                and abs(handler.in_flight.round_number - msg.round_number)
+                > self.stabilize_round_gap
+            ):
+                # The pending proposal carries the corrupted numbering; a
+                # round that far from the ordered stream can never
+                # complete, and keeping it would block _open_round
+                # forever.  Its parked ops are re-proposed by _pump.
+                handler.in_flight = None
         handler.my_round_number = msg.round_number
         group_us = msg.proposed_micros
         in_flight, handler.in_flight = handler.in_flight, None
+        buffered = False
         if in_flight is not None and in_flight.round_number == msg.round_number:
             physical_us = in_flight.physical_us
             started_at = in_flight.started_at
@@ -533,6 +641,7 @@ class ConsistentTimeService(TimeSource):
             # We never proposed for this round (it was driven by another
             # replica, or arrived while we were catching up): anchor the
             # offset to a fresh physical reading.
+            buffered = True
             physical_us = self.node.read_clock_us()
             started_at = self.sim.now
             handler.in_flight = in_flight
@@ -543,10 +652,28 @@ class ConsistentTimeService(TimeSource):
                     proposal_us=None, call=None, buffered=True,
                     t=started_at,
                 )
+        prior_offset = (
+            self.clock_state.offset_us
+            if self.clock_state.last_group_us is not None else None
+        )
         self.clock_state.commit(group_us, physical_us)
         self.clock_state.offset_us = self.drift.adjust_offset(
             self.clock_state.offset_us
         )
+        if self.byzantine and buffered and prior_offset is not None:
+            # A buffered commit's physical reading is taken at
+            # *processing* time — however late the consume ran — so the
+            # derived offset absorbs the scheduling lag, our estimate
+            # trails the group, and our next winning proposal regresses
+            # group time (every client plateaus until real time catches
+            # up).  Keep the prior offset instead: Figure 2 only ever
+            # derives the offset from an operation-context reading, and
+            # rounds we proposed for keep re-synchronizing it from the
+            # open-time reading.  A corruption-scale move stays free —
+            # it is the repair path for a scrambled offset.
+            move = self.clock_state.offset_us - prior_offset
+            if abs(move) <= self.stabilize_value_gap_us:
+                self.clock_state.offset_us = prior_offset
         self._last_commit_physical_us = self.node.read_clock_us()
         self.stats.rounds_completed += 1
         handler.rounds_completed += 1
@@ -681,11 +808,52 @@ class ConsistentTimeService(TimeSource):
             thread_id, self._initial_rounds.get(thread_id, 0)
         )
         if msg.round_number <= watermark:
-            self.stats.duplicates_discarded += 1
-            if obs.REGISTRY.enabled:
-                M_DUPLICATES.inc(node=self.node_id)
-            return
+            if (
+                self.byzantine
+                and watermark - msg.round_number > self.stabilize_round_gap
+            ):
+                # A watermark this far ahead of live traffic is
+                # corruption, not history: reset it from the live round
+                # rather than discarding every future winner.
+                self._note_stabilization(
+                    "watermark", thread=thread_id,
+                    watermark=watermark, round=msg.round_number)
+            else:
+                self.stats.duplicates_discarded += 1
+                if obs.REGISTRY.enabled:
+                    M_DUPLICATES.inc(node=self.node_id)
+                return
+        if self.byzantine and not self._recovering:
+            reason = self._winner_rejection(msg)
+            if reason is not None and self._note_reject_evidence(
+                    reason, envelope.sender, msg):
+                # A quorum of distinct peers was rejected on the same
+                # side of our window: at least one of them is correct
+                # (f < n/3), so *our* anchor was the outlier.  The
+                # quorum handler repaired it — re-evaluate this winner
+                # against the repaired state.
+                reason = self._winner_rejection(msg)
+            if reason is not None:
+                self._reject_ccs(envelope, msg, reason)
+                if envelope.sender == self.node_id:
+                    # Our own ordered proposal failed our own filter:
+                    # some local floor or the offset fed it a poisoned
+                    # value.  Repair what is provably implausible so
+                    # the re-proposal is clean — we must recover even
+                    # when no other replica proposes.
+                    self._repair_after_self_reject(msg)
+                # Agreement safety: the window is anchored on local
+                # state, so accept/reject is not guaranteed unanimous
+                # among correct replicas — another replica may commit
+                # this winner.  Committing a *different* value for the
+                # same round number would diverge, so the round is
+                # dead to us: burn its number and re-propose.
+                self._skip_round(thread_id, msg)
+                return
         self._accepted[thread_id] = msg.round_number
+        if self.byzantine:
+            self._reject_evidence["too-high"].clear()
+            self._reject_evidence["too-low"].clear()
         self.winners.append((thread_id, msg.round_number, envelope.sender))
         self.clock_state.observe_group_value(msg.proposed_micros)
         if trace.TRACER.enabled:
@@ -733,7 +901,213 @@ class ConsistentTimeService(TimeSource):
         """
         msg = envelope.body
         if isinstance(msg, CCSMessage):
+            if self.byzantine and self._winner_rejection(msg) is not None:
+                # A value we will reject once ordered must not withdraw
+                # our own honest proposal: the round still needs it.
+                return
             self._try_suppress(envelope, msg)
+
+    # ------------------------------------------------------------------
+    # Byzantine sanity filter and self-stabilization
+    # ------------------------------------------------------------------
+
+    def _winner_rejection(self, msg: CCSMessage) -> Optional[str]:
+        """WALDEN-style accuracy filter: the drift-certified window.
+
+        After the first commit, an honest winner's value must sit within
+        ``[last_group - byz_lag, last_group + elapsed + drift_error +
+        byz_window]``: group time advances at most at real time plus the
+        certified drift, and a legitimate concurrent proposal can be
+        ordered only boundedly late.  Returns the rejection reason, or
+        None to accept.  Before the first commit there is no certified
+        anchor (cold-start clock spread is legitimate) and everything is
+        accepted.
+        """
+        last = self.clock_state.last_group_us
+        if last is None or self._last_commit_physical_us is None:
+            return None
+        elapsed = max(
+            0, self.node.read_clock_us() - self._last_commit_physical_us
+        )
+        hi = (last + elapsed + self.drift_bound.error_us(elapsed)
+              + self.byz_window_us)
+        if msg.proposed_micros > hi:
+            return "too-high"
+        if msg.proposed_micros < last - self.byz_lag_us:
+            return "too-low"
+        return None
+
+    def _note_reject_evidence(self, reason: str, sender: str,
+                              msg: CCSMessage) -> bool:
+        """Accumulate distinct-peer evidence that our own window — not
+        the senders' values — is wrong, and repair it at quorum.
+
+        A single liar can fabricate any value, but ``stabilize_quorum``
+        *distinct* senders rejected on the same side since our last
+        accepted winner include at least one correct replica (f < n/3
+        with quorum = f + 1), so our own state is the outlier.  Two
+        repairs, by scale of the quorum's most conservative value:
+
+        * corruption-scale (more than ``stabilize_value_gap_us`` off
+          our anchor): the anchor itself came from corrupted state —
+          drop every floor and re-anchor from the live stream;
+        * lag-scale too-high (honest winners keep landing just above
+          the window): the physical anchor of our last commit was
+          stamped late — processing lag, not clock drift — so the
+          window trails real group time.  Rewind the anchor until the
+          quorum's *minimum* rejected value fits.  The minimum is safe:
+          with a correct sender in the quorum it never exceeds an
+          honest proposal (liars overshoot; undershooters land in
+          ``too-low``).
+
+        Returns True when a repair happened; the caller re-evaluates
+        the current winner against the repaired state, so a liar's
+        value stays rejected while the honest quorum minimum passes.
+        """
+        if sender == self.node_id:
+            # Our own rejected proposal indicts our proposal state, not
+            # the window — handled by _repair_after_self_reject.  It
+            # must not count toward a peer quorum.
+            return False
+        evidence = self._reject_evidence[reason]
+        prev = evidence.get(sender)
+        if prev is None or msg.proposed_micros < prev:
+            evidence[sender] = msg.proposed_micros
+        # Coherence: honest winners over the evidence horizon sit
+        # within the ordering-lag bound of each other, while two
+        # *faulty* senders (a liar plus a not-yet-repaired corrupted
+        # replica) are arbitrarily far apart — without this check they
+        # could form a quorum whose minimum is still a lie.  Drop high
+        # outliers until the span is coherent; lone faulty values then
+        # never reach quorum against an honest entry.
+        while (
+            len(evidence) >= self.stabilize_quorum
+            and max(evidence.values()) - min(evidence.values())
+            > self.byz_lag_us
+        ):
+            worst = max(evidence, key=evidence.get)
+            del evidence[worst]
+        if len(evidence) < self.stabilize_quorum:
+            return False
+        target = min(evidence.values())
+        evidence.clear()
+        last = self.clock_state.last_group_us
+        if last is None:
+            return False
+        if abs(target - last) > self.stabilize_value_gap_us:
+            self.clock_state.stabilize()
+            self._note_stabilization(
+                "floors", thread=msg.thread_id, round=msg.round_number)
+            return True
+        if reason == "too-high" and self._last_commit_physical_us is not None:
+            elapsed = max(
+                0, self.node.read_clock_us() - self._last_commit_physical_us
+            )
+            estimate = last + elapsed
+            if target > estimate:
+                delta = target - estimate
+                self._last_commit_physical_us -= delta
+                self._note_stabilization("anchor", adjusted_us=delta)
+                return True
+        return False
+
+    def _skip_round(self, thread_id: str, msg: CCSMessage) -> None:
+        """Burn a round whose ordered winner we rejected.
+
+        Other correct replicas may have accepted the winner, and the
+        first ordered proposal *is* the round under Totem — so once we
+        reject it, no later proposal may win the same round number for
+        us without risking divergence.  Advance the duplicate watermark
+        past the round, move the consumption point up, and withdraw any
+        in-flight proposal so ``_pump`` re-proposes the parked
+        operations for the next round.  A liar that keeps winning the
+        order therefore costs correct replicas rounds, never agreement;
+        liveness survives because every honest replica's re-proposal
+        races for the next round on the rotating token.
+        """
+        if (
+            msg.round_number
+            - self._accepted.get(
+                thread_id, self._initial_rounds.get(thread_id, 0))
+            > self.stabilize_round_gap
+        ):
+            # A corrupted sender's round numbering is not part of the
+            # live stream; adopting it would discard every honest round
+            # behind it.  Discarding the message alone is enough.
+            return
+        self._accepted[thread_id] = msg.round_number
+        if trace.TRACER.enabled:
+            trace.emit(
+                "round.skipped", self.node_id, thread=thread_id,
+                round=msg.round_number, t=self.sim.now)
+        handler = self._handlers.get(thread_id)
+        if handler is None:
+            return
+        handler.my_round_number = max(
+            handler.my_round_number, msg.round_number)
+        if (
+            handler.in_flight is not None
+            and handler.in_flight.round_number <= msg.round_number
+        ):
+            handler.in_flight = None
+        if self.coalesce:
+            self._pump(handler)
+
+    def _reject_ccs(self, envelope: Envelope, msg: CCSMessage,
+                    reason: str) -> None:
+        self.stats.winners_rejected += 1
+        if obs.REGISTRY.enabled:
+            M_WINNERS_REJECTED.inc(node=self.node_id, reason=reason)
+        if trace.TRACER.enabled:
+            trace.emit(
+                "round.rejected", self.node_id, thread=msg.thread_id,
+                round=msg.round_number, sender=envelope.sender,
+                proposed_us=msg.proposed_micros, reason=reason,
+                t=self.sim.now,
+            )
+
+    def _note_stabilization(self, what: str, **fields) -> None:
+        self.stats.stabilizations += 1
+        if obs.REGISTRY.enabled:
+            M_STABILIZATIONS.inc(node=self.node_id, what=what)
+        if trace.TRACER.enabled:
+            trace.emit("state.repaired", self.node_id, what=what,
+                       t=self.sim.now, **fields)
+
+    def _repair_after_self_reject(self, msg: CCSMessage) -> None:
+        """Our own ordered proposal failed our own window: whichever
+        floor — or the offset itself — is corruption-scale off the
+        certified anchor fed it."""
+        state = self.clock_state
+        anchor = state.last_group_us
+        if anchor is None:
+            return
+        repaired = []
+        if (
+            abs(msg.proposed_micros - anchor) > self.stabilize_value_gap_us
+            and self._last_commit_physical_us is not None
+        ):
+            # The proposal is corruption-scale off: re-derive the offset
+            # from the last committed round (group minus the physical
+            # reading taken at that commit — both honest by agreement)
+            # instead of waiting for another replica's winner.  A sole
+            # proposer must be able to repair itself.
+            state.offset_us = anchor - self._last_commit_physical_us
+            repaired.append("offset")
+        if (
+            state.causal_floor_us is not None
+            and state.causal_floor_us - anchor > self.stabilize_value_gap_us
+        ):
+            state.causal_floor_us = None
+            repaired.append("causal")
+        if (
+            state.fast_floor_us is not None
+            and state.fast_floor_us - anchor > self.stabilize_value_gap_us
+        ):
+            state.fast_floor_us = None
+            repaired.append("fast")
+        if repaired:
+            self._note_stabilization("floors", floors=repaired)
 
     def _try_suppress(self, envelope: Envelope, msg: CCSMessage) -> None:
         """Withdraw our queued-but-untransmitted CCS message for a round

@@ -99,8 +99,10 @@ class FrameError(ReproError):
 
     ``reason`` is a stable machine-readable code (``truncated``,
     ``magic``, ``version``, ``length``, ``source``, ``trace``,
-    ``payload``, ``trailing``) used to label the per-reason rejection
-    counters on live UDP ports.
+    ``payload``, ``trailing``, and the authenticated-mode codes
+    ``auth-missing``, ``auth-truncated``, ``auth-forged``,
+    ``auth-replay``) used to label the per-reason rejection counters on
+    live UDP ports.
     """
 
     def __init__(self, message: str, *, reason: str = "malformed"):

@@ -1,0 +1,137 @@
+"""Wire-frame authentication for the Byzantine-tolerant mode.
+
+The crash/omission fault model of the base protocol lets any datagram
+that *parses* join the total order.  Under an authenticated-Byzantine
+model (f < n/3 replicas may lie, but cannot forge each other's
+signatures) every ring frame instead carries a MAC field behind the v3
+flags byte::
+
+    key id   1 byte   which group key signed this frame
+    nonce    8 bytes  little-endian, strictly increasing per sender
+    mac     16 bytes  truncated HMAC-SHA256 over everything before it
+                      (src, flags, trace context, key id, nonce) plus
+                      the payload bytes
+
+One :class:`WireAuthenticator` holds the group keyring and the replay
+state for every node it serves (the in-process testbed shares a single
+transport among all nodes, so both send counters and receive watermarks
+are keyed by node id).  Verification failures raise
+:class:`~repro.errors.FrameError` with one of the stable reasons
+``auth-missing`` / ``auth-truncated`` / ``auth-forged`` /
+``auth-replay``, which feed the existing per-reason rejection counters —
+a lying replica's forged frames show up in telemetry exactly like any
+other malformed datagram.
+
+Caveats (documented, deliberate):
+
+* Nonces must *strictly increase* per (receiver, sender) pair.  A
+  datagram reordered in flight is rejected as a replay; on lossy UDP
+  that degrades to a drop, which the ring protocol already tolerates
+  via retransmission.
+* Key distribution is out of scope: the group key is provisioned out of
+  band (``--auth-key`` on every daemon).  A compromised key defeats the
+  scheme — this authenticates *members to each other*, it does not make
+  a member honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import struct
+import threading
+from typing import Dict, Tuple
+
+from ..errors import FrameError
+
+#: Truncated HMAC-SHA256 output carried on the wire.
+MAC_SIZE = 16
+#: key id + nonce + mac.
+AUTH_FIELD_SIZE = 1 + 8 + MAC_SIZE
+
+
+def derive_key(secret: str, *, group: str = "timesvc") -> bytes:
+    """Derive the 32-byte group key from a shared secret string."""
+    return hashlib.sha256(f"repro-wire-auth:{group}:{secret}".encode()).digest()
+
+
+class WireAuthenticator:
+    """Signs outgoing frames and verifies incoming ones.
+
+    Thread-safe: live transports encode on client threads and decode on
+    the event-loop thread concurrently.
+    """
+
+    def __init__(self, key: bytes, *, key_id: int = 0):
+        if not 0 <= key_id <= 255:
+            raise ValueError(f"key_id must fit one byte, got {key_id}")
+        self.key_id = key_id
+        self._keys: Dict[int, bytes] = {key_id: key}
+        self._lock = threading.Lock()
+        #: sender node -> last nonce issued.
+        self._send_nonce: Dict[str, int] = {}
+        #: (receiver node, sender node) -> highest nonce accepted.
+        self._recv_nonce: Dict[Tuple[str, str], int] = {}
+        self.frames_signed = 0
+        self.frames_verified = 0
+
+    @classmethod
+    def from_secret(cls, secret: str, *, group: str = "timesvc",
+                    key_id: int = 0) -> "WireAuthenticator":
+        return cls(derive_key(secret, group=group), key_id=key_id)
+
+    def add_key(self, key_id: int, key: bytes) -> None:
+        """Add an extra keyring entry (rotation: verify old, sign new)."""
+        with self._lock:
+            self._keys[key_id] = key
+
+    # -- signing ----------------------------------------------------------
+
+    def sign_field(self, src: str, signed_prefix: bytes,
+                   payload_bytes: bytes) -> bytes:
+        """Produce the wire auth field for one outgoing frame.
+
+        ``signed_prefix`` is every body byte preceding the auth field
+        (packed src, flags, trace context); the MAC also covers the key
+        id, the nonce and the payload, so nothing in the frame can be
+        spliced without detection.
+        """
+        with self._lock:
+            nonce = self._send_nonce.get(src, 0) + 1
+            self._send_nonce[src] = nonce
+            key = self._keys[self.key_id]
+            self.frames_signed += 1
+        head = bytes([self.key_id]) + struct.pack("<Q", nonce)
+        mac = hmac.new(key, signed_prefix + head + payload_bytes,
+                       hashlib.sha256).digest()[:MAC_SIZE]
+        return head + mac
+
+    # -- verification -----------------------------------------------------
+
+    def verify(self, *, dst: str, src: str, key_id: int, nonce: int,
+               mac: bytes, signed_bytes: bytes) -> None:
+        """Check one incoming frame's auth field; raise on failure.
+
+        ``signed_bytes`` is the exact byte string the sender signed
+        (prefix + key id + nonce + payload).  Raises
+        :class:`FrameError` with reason ``auth-forged`` (bad key id or
+        MAC mismatch) or ``auth-replay`` (nonce not strictly newer than
+        the watermark for this (dst, src) pair).
+        """
+        with self._lock:
+            key = self._keys.get(key_id)
+        if key is None:
+            raise FrameError(f"auth field names unknown key id {key_id}",
+                             reason="auth-forged")
+        expect = hmac.new(key, signed_bytes, hashlib.sha256).digest()[:MAC_SIZE]
+        if not hmac.compare_digest(expect, mac):
+            raise FrameError(f"frame MAC from {src!r} does not verify",
+                             reason="auth-forged")
+        with self._lock:
+            watermark = self._recv_nonce.get((dst, src), 0)
+            if nonce <= watermark:
+                raise FrameError(
+                    f"replayed frame from {src!r}: nonce {nonce} <= "
+                    f"watermark {watermark}", reason="auth-replay")
+            self._recv_nonce[(dst, src)] = nonce
+            self.frames_verified += 1

@@ -108,6 +108,11 @@ class DaemonConfig:
     #: Write per-node trace shards (JSONL) into this directory and keep
     #: the flight recorder running (None = off).
     trace_dir: Optional[str] = None
+    #: Shared secret for authenticated (Byzantine-tolerant) rings: every
+    #: daemon derives the same HMAC key, signs every ring frame, and the
+    #: time service arms its winner sanity filter (None = off).  All
+    #: peers must agree — an unauthenticated peer's frames are rejected.
+    auth_key: Optional[str] = None
 
 
 M_GW_REQUESTS = obs.REGISTRY.counter(
@@ -246,11 +251,18 @@ class NodeDaemon:
         self.config = config
         self.kernel = kernel or LiveKernel()
         host, port = config.peers[config.node_id]
+        self.auth = None
+        if config.auth_key is not None:
+            from .auth import WireAuthenticator
+
+            self.auth = WireAuthenticator.from_secret(
+                config.auth_key, group=config.group)
         self.transport = UdpTransport(
             self.kernel.loop,
             peers=config.peers,
             bind_host=host,
             bind_ports={config.node_id: port},
+            auth=self.auth,
         )
         self.node = LiveNode(
             self.kernel,
@@ -285,7 +297,8 @@ class NodeDaemon:
         factory = TestbedBase._time_source_factory(
             config.time_source, config.style, None,
             coalesce=config.coalesce, fast_path=config.fast_path,
-            max_staleness_us=config.max_staleness_us)
+            max_staleness_us=config.max_staleness_us,
+            byzantine=config.auth_key is not None)
         self.replica = STYLES[config.style](
             self.runtime, config.group, TimeApp(), factory,
             join_existing=config.join_existing,

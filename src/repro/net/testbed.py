@@ -49,11 +49,24 @@ class LiveTestbed(TestbedBase):
         clock_drift_ppm_max: float = 50.0,
         bind_host: str = "127.0.0.1",
         chaos_seed: Optional[int] = None,
+        auth_secret: Optional[str] = None,
     ):
         self.kernel = LiveKernel()
-        self.transport = UdpTransport(self.kernel.loop, bind_host=bind_host)
+        #: Shared wire authenticator when the cluster runs authenticated.
+        #: One instance serves every in-process node: send nonces are
+        #: keyed by sender and receive watermarks by (receiver, sender),
+        #: so the shared keyring never aliases two nodes' counters.
+        self.auth = None
+        if auth_secret is not None:
+            from .auth import WireAuthenticator
+
+            self.auth = WireAuthenticator.from_secret(auth_secret)
+        self.transport = UdpTransport(self.kernel.loop, bind_host=bind_host,
+                                      auth=self.auth)
         #: Fault-injection decorator, present when chaos is requested.
         self.chaos = None
+        #: Seeds the corrupt-state scrambler (see TestbedBase.corrupt_state).
+        self.chaos_seed = chaos_seed
         if chaos_seed is not None:
             # Imported lazily: repro.chaos imports this module's runner
             # dependencies, so a top-level import would cycle.

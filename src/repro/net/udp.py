@@ -46,7 +46,8 @@ M_DATAGRAMS_RECEIVED = obs.REGISTRY.counter(
 M_DATAGRAMS_REJECTED = obs.REGISTRY.counter(
     "udp_datagrams_rejected_total",
     "datagrams dropped by frame validation, labelled by rejection reason "
-    "(truncated, magic, version, length, source, trace, payload, trailing)")
+    "(truncated, magic, version, length, source, trace, payload, trailing, "
+    "auth-missing, auth-truncated, auth-forged, auth-replay)")
 
 
 def _envelope_of(payload: Any) -> Optional[Envelope]:
@@ -101,6 +102,10 @@ class UdpPort(TransportPort):
         self.node_id = node_id
         self._deliver = deliver
         self.sock = sock
+        #: Shared :class:`~repro.net.auth.WireAuthenticator` (or None):
+        #: signs every frame this port sends and verifies every frame it
+        #: receives.
+        self.auth = transport.auth
         self.up = True
         self.frames_sent = 0
         self.frames_received = 0
@@ -124,14 +129,14 @@ class UdpPort(TransportPort):
         if addr is None:
             return
         trace = _trace_for(payload)
-        self._send(encode_frame(self.node_id, payload, trace), addr,
-                   payload, trace)
+        self._send(encode_frame(self.node_id, payload, trace, self.auth),
+                   addr, payload, trace)
 
     def multicast(self, payload: Any, size_bytes: int = 128) -> None:
         """Fan out to every peer in the address book, self included."""
         self._check_up()
         trace = _trace_for(payload)
-        data = encode_frame(self.node_id, payload, trace)
+        data = encode_frame(self.node_id, payload, trace, self.auth)
         for addr in self.transport.peers.values():
             self._send(data, addr, payload, trace)
 
@@ -140,8 +145,8 @@ class UdpPort(TransportPort):
         the daemon to answer clients that are not ring peers)."""
         self._check_up()
         trace = _trace_for(payload)
-        self._send(encode_frame(self.node_id, payload, trace), addr,
-                   payload, trace)
+        self._send(encode_frame(self.node_id, payload, trace, self.auth),
+                   addr, payload, trace)
 
     def _check_up(self) -> None:
         if not self.up:
@@ -179,7 +184,8 @@ class UdpPort(TransportPort):
             if not self.up:
                 continue
             try:
-                src, payload, trace = decode_frame_ex(data)
+                src, payload, trace = decode_frame_ex(
+                    data, auth=self.auth, auth_node=self.node_id)
             except FrameError as exc:
                 self.frames_rejected += 1
                 reason = getattr(exc, "reason", "malformed")
@@ -223,11 +229,15 @@ class UdpTransport(Transport):
         peers: Optional[Dict[str, Address]] = None,
         bind_host: str = "127.0.0.1",
         bind_ports: Optional[Dict[str, int]] = None,
+        auth=None,
     ):
         self.loop = loop
         self.peers: Dict[str, Address] = dict(peers or {})
         self.bind_host = bind_host
         self.bind_ports = dict(bind_ports or {})
+        #: Optional :class:`~repro.net.auth.WireAuthenticator` shared by
+        #: every port on this transport (authenticated Byzantine mode).
+        self.auth = auth
         self._ports: Dict[str, UdpPort] = {}
 
     # -- topology ---------------------------------------------------------

@@ -78,7 +78,10 @@ ACCEPTED_VERSIONS = (2, 3)
 HEADER_SIZE = 7
 #: Frame flag: a trace context follows the source field.
 _FLAG_TRACE = 0x01
-_KNOWN_FLAGS = _FLAG_TRACE
+#: Frame flag: an auth field (key id + nonce + MAC) follows the trace
+#: context — see :mod:`repro.net.auth`.
+_FLAG_AUTH = 0x02
+_KNOWN_FLAGS = _FLAG_TRACE | _FLAG_AUTH
 
 # -- payload kind tags ----------------------------------------------------
 _KIND_ENVELOPE = 0
@@ -287,28 +290,47 @@ def decode_payload(buffer: bytes, offset: int = 0) -> Tuple[Any, int]:
 # -- framing --------------------------------------------------------------
 
 def frame(src: str, payload_bytes: bytes,
-          trace: Optional[TraceContext] = None) -> bytes:
+          trace: Optional[TraceContext] = None,
+          auth=None) -> bytes:
     """Wrap encoded payload bytes in a versioned, length-checked frame.
 
     ``trace`` attaches the optional v3 trace-context field (a compact
-    trace id plus the causal parent hop).
+    trace id plus the causal parent hop).  ``auth`` — a
+    :class:`~repro.net.auth.WireAuthenticator` — attaches the optional
+    auth field (key id + nonce + truncated HMAC over the whole frame
+    body), marking the frame with the auth flag.
     """
     flags = _FLAG_TRACE if trace is not None else 0
+    if auth is not None:
+        flags |= _FLAG_AUTH
     parts = [_pack_str(src), bytes([flags])]
     if trace is not None:
         parts.append(_pack_str(trace.trace_id))
         parts.append(_pack_str(trace.parent))
+    if auth is not None:
+        parts.append(auth.sign_field(src, b"".join(parts), payload_bytes))
     parts.append(payload_bytes)
     body = b"".join(parts)
     return MAGIC + bytes([WIRE_VERSION]) + struct.pack("<I", len(body)) + body
 
 
-def unframe_ex(data: bytes) -> Tuple[str, Optional[TraceContext], bytes]:
+def unframe_ex(data: bytes, *, auth=None,
+               auth_node: Optional[str] = None
+               ) -> Tuple[str, Optional[TraceContext], bytes]:
     """Validate a frame; returns ``(src_node, trace, payload_bytes)``.
 
     Raises :class:`~repro.errors.FrameError` on anything that is not a
     complete, accepted-version frame — foreign datagrams, truncation, or
     trailing garbage.  v2 frames decode with ``trace=None``.
+
+    With ``auth`` set (a :class:`~repro.net.auth.WireAuthenticator`),
+    the frame's auth field is *required* for every ring payload kind
+    (bare envelopes — the client channel — stay exempt) and is verified
+    against the keyring and the replay watermark for the receiving node
+    ``auth_node``; failures raise with the distinct reasons
+    ``auth-missing`` / ``auth-truncated`` / ``auth-forged`` /
+    ``auth-replay``.  Without ``auth``, an attached auth field is parsed
+    and skipped, so unauthenticated receivers interoperate.
     """
     if len(data) < HEADER_SIZE:
         raise FrameError(f"short frame ({len(data)} bytes)",
@@ -334,6 +356,7 @@ def unframe_ex(data: bytes) -> Tuple[str, Optional[TraceContext], bytes]:
         raise FrameError("frame source field overruns the body",
                          reason="source")
     trace: Optional[TraceContext] = None
+    authenticated = False
     if version >= 3:
         if offset >= len(body):
             raise FrameError("frame truncated before the flags byte",
@@ -354,6 +377,36 @@ def unframe_ex(data: bytes) -> Tuple[str, Optional[TraceContext], bytes]:
                 raise FrameError("trace context overruns the body",
                                  reason="trace")
             trace = TraceContext(trace_id, parent)
+        if flags & _FLAG_AUTH:
+            from .auth import AUTH_FIELD_SIZE, MAC_SIZE
+
+            if len(body) - offset < AUTH_FIELD_SIZE:
+                raise FrameError(
+                    f"auth field truncated ({len(body) - offset} of "
+                    f"{AUTH_FIELD_SIZE} bytes)", reason="auth-truncated")
+            key_id = body[offset]
+            (nonce,) = struct.unpack_from("<Q", body, offset + 1)
+            mac = body[offset + 9:offset + 9 + MAC_SIZE]
+            signed_prefix = body[:offset]
+            offset += AUTH_FIELD_SIZE
+            if auth is not None:
+                auth.verify(
+                    dst=auth_node or "", src=src, key_id=key_id,
+                    nonce=nonce, mac=mac,
+                    signed_bytes=(signed_prefix
+                                  + bytes([key_id])
+                                  + struct.pack("<Q", nonce)
+                                  + body[offset:]))
+                authenticated = True
+    if auth is not None and not authenticated:
+        # Auth required: only the bare-envelope client channel is exempt
+        # (clients hold no group key; their requests never enter the
+        # ring unmediated).  v2 frames cannot carry a MAC, so a version
+        # downgrade cannot smuggle an unauthenticated ring frame in.
+        if offset >= len(body) or body[offset] != _KIND_ENVELOPE:
+            raise FrameError(
+                f"unauthenticated ring frame from {src!r} "
+                f"(auth mode requires a MAC)", reason="auth-missing")
     return src, trace, body[offset:]
 
 
@@ -368,14 +421,18 @@ def unframe(data: bytes) -> Tuple[str, bytes]:
 
 
 def encode_frame(src: str, payload: Any,
-                 trace: Optional[TraceContext] = None) -> bytes:
+                 trace: Optional[TraceContext] = None,
+                 auth=None) -> bytes:
     """Convenience: encode and frame one payload."""
-    return frame(src, encode_payload(payload), trace)
+    return frame(src, encode_payload(payload), trace, auth)
 
 
-def decode_frame_ex(data: bytes) -> Tuple[str, Any, Optional[TraceContext]]:
+def decode_frame_ex(data: bytes, *, auth=None,
+                    auth_node: Optional[str] = None
+                    ) -> Tuple[str, Any, Optional[TraceContext]]:
     """Unframe and decode; returns ``(src_node, payload, trace)``."""
-    src, trace, payload_bytes = unframe_ex(data)
+    src, trace, payload_bytes = unframe_ex(data, auth=auth,
+                                           auth_node=auth_node)
     payload, end = decode_payload(payload_bytes, 0)
     if end != len(payload_bytes):
         raise FrameError(

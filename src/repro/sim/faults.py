@@ -31,7 +31,8 @@ from typing import Callable, List, Optional, Tuple
 from ..errors import ConfigurationError
 
 #: Events that require a chaos-capable (live) testbed.
-LIVE_ONLY_KINDS = frozenset({"drop", "delay", "duplicate", "reorder", "isolate"})
+LIVE_ONLY_KINDS = frozenset({"drop", "delay", "duplicate", "reorder", "isolate",
+                             "lie", "equivocate"})
 
 
 @dataclass(frozen=True)
@@ -39,7 +40,7 @@ class FaultEvent:
     """One scheduled fault action."""
 
     at_s: float
-    kind: str       # crash|recover|partition|heal|call|drop|delay|duplicate|reorder|isolate
+    kind: str       # crash|recover|partition|heal|call|drop|delay|duplicate|reorder|isolate|lie|equivocate|corrupt-state
     target: Tuple = ()
 
     def __str__(self) -> str:
@@ -135,6 +136,29 @@ class FaultPlan:
         ``at``; healed by :meth:`heal`."""
         return self._add(FaultEvent(at, "isolate", (node_id,)))
 
+    # Byzantine events (lie/equivocate need a ChaosTransport; a state
+    # corruption works on either substrate via bed.corrupt_state).
+
+    def lie(self, node_id: str, *, bias_us: int, at: float) -> "FaultPlan":
+        """From ``at`` on, ``node_id`` adds ``bias_us`` to every CCS
+        proposal it transmits — the same lie to every receiver (bias 0
+        stops the lying)."""
+        return self._add(FaultEvent(at, "lie", (node_id, int(bias_us))))
+
+    def equivocate(self, node_id: str, *, spread_us: int,
+                   at: float) -> "FaultPlan":
+        """From ``at`` on, ``node_id`` tells each receiver a different
+        proposal value, seeded per destination with magnitude of order
+        ``spread_us`` (0 stops the equivocation)."""
+        return self._add(
+            FaultEvent(at, "equivocate", (node_id, int(spread_us))))
+
+    def corrupt_state(self, node_id: str, *, at: float) -> "FaultPlan":
+        """Scramble ``node_id``'s time-service state (offset, round
+        counters, watermarks, fast floor) at ``at`` — the transient
+        fault the self-stabilization path must repair."""
+        return self._add(FaultEvent(at, "corrupt-state", (node_id,)))
+
     @staticmethod
     def _check_rate(kind: str, rate: float) -> None:
         if not 0.0 <= rate <= 1.0:
@@ -204,7 +228,14 @@ class FaultPlan:
                     f"fault event {event} needs a chaos transport; this "
                     f"testbed has none (live-only event on the simulator?)"
                 )
-            if event.kind in ("crash", "recover", "isolate"):
+            if event.kind == "corrupt-state" and not hasattr(
+                    bed, "corrupt_state"):
+                raise ConfigurationError(
+                    f"fault event {event} needs a testbed with a "
+                    f"corrupt_state hook"
+                )
+            if event.kind in ("crash", "recover", "isolate", "lie",
+                              "equivocate", "corrupt-state"):
                 node = event.target[0]
                 if node not in known:
                     raise ConfigurationError(
@@ -285,6 +316,14 @@ class FaultPlan:
             chaos.set_reorder(rate, window_s=window_s, src=src, dst=dst)
         elif event.kind == "isolate":
             chaos.isolate(event.target[0])
+        elif event.kind == "lie":
+            node, bias_us = event.target
+            chaos.set_lie(node, bias_us)
+        elif event.kind == "equivocate":
+            node, spread_us = event.target
+            chaos.set_equivocate(node, spread_us)
+        elif event.kind == "corrupt-state":
+            bed.corrupt_state(event.target[0])
         elif event.kind == "call":
             event.target[0]()
         self.injected.append(event)

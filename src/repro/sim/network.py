@@ -21,6 +21,7 @@ real UDP sockets.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
@@ -153,6 +154,12 @@ class Network(Transport):
         #: same visit and must arrive after them.)
         self._last_arrival: Dict[tuple, float] = {}
         self.frames_dropped = 0
+        #: Optional per-leg payload mutator ``(src, dst, payload) ->
+        #: payload`` applied to every delivery, self-delivery included —
+        #: the simulator-side hook for Byzantine injection (lies and
+        #: equivocation in the property suites).  Mutators must return
+        #: replaced copies, never mutate the shared payload.
+        self.mutator: Optional[Callable[[str, str, Any], Any]] = None
 
     # -- topology -------------------------------------------------------------
 
@@ -217,4 +224,10 @@ class Network(Transport):
                 arrival = previous + 1e-9
             self._last_arrival[key] = arrival
             iface = self._interfaces[dst]
-            self.sim.schedule(arrival - self.sim.now, iface._receive, frame)
+            delivered = frame
+            if self.mutator is not None:
+                payload = self.mutator(frame.src, dst, frame.payload)
+                if payload is not frame.payload:
+                    delivered = dataclasses.replace(frame, payload=payload)
+            self.sim.schedule(arrival - self.sim.now, iface._receive,
+                              delivered)

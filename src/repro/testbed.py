@@ -130,6 +130,7 @@ class TestbedBase:
         coalesce: bool = True,
         fast_path: bool = False,
         max_staleness_us: int = 2_000,
+        byzantine: bool = False,
         **style_kwargs,
     ) -> Dict[str, Replica]:
         """Deploy one replicated service: one replica per listed node.
@@ -138,7 +139,9 @@ class TestbedBase:
         baseline names (``"local"``, ``"primary-backup"``, ``"ntp"``), or
         a factory ``Replica -> TimeSource``.  ``coalesce``, ``fast_path``
         and ``max_staleness_us`` configure the CTS round amortization and
-        the drift-bounded read fast path (ignored for baselines).
+        the drift-bounded read fast path; ``byzantine`` arms the winner
+        sanity filter and self-stabilization path (all ignored for
+        baselines).
         """
         if group in self.services:
             raise ConfigurationError(f"group {group!r} already deployed")
@@ -149,7 +152,7 @@ class TestbedBase:
         factory = self._time_source_factory(
             time_source, style, drift,
             coalesce=coalesce, fast_path=fast_path,
-            max_staleness_us=max_staleness_us,
+            max_staleness_us=max_staleness_us, byzantine=byzantine,
         )
         replica_cls = STYLES[style]
         replicas: Dict[str, Replica] = {}
@@ -176,6 +179,7 @@ class TestbedBase:
         coalesce: bool = True,
         fast_path: bool = False,
         max_staleness_us: int = 2_000,
+        byzantine: bool = False,
         **style_kwargs,
     ) -> Replica:
         """Add (or re-add, after a crash) one replica to a running group.
@@ -186,7 +190,7 @@ class TestbedBase:
         factory = self._time_source_factory(
             time_source, style, drift,
             coalesce=coalesce, fast_path=fast_path,
-            max_staleness_us=max_staleness_us,
+            max_staleness_us=max_staleness_us, byzantine=byzantine,
         )
         replica = STYLES[style](
             self.runtimes[node_id], group, app_factory(), factory,
@@ -212,6 +216,7 @@ class TestbedBase:
         coalesce: bool = True,
         fast_path: bool = False,
         max_staleness_us: int = 2_000,
+        byzantine: bool = False,
     ) -> Callable[[Replica], TimeSource]:
         if callable(spec):
             return spec
@@ -220,7 +225,7 @@ class TestbedBase:
             return lambda replica: ConsistentTimeService(
                 replica, mode=mode, drift=drift,
                 coalesce=coalesce, fast_path=fast_path,
-                max_staleness_us=max_staleness_us,
+                max_staleness_us=max_staleness_us, byzantine=byzantine,
             )
         if spec == "local":
             return LocalClockSource
@@ -286,6 +291,31 @@ class TestbedBase:
     def replicas(self, group: str) -> Dict[str, Replica]:
         """The live replicas of a group, keyed by node."""
         return self.services[group]
+
+    def corrupt_state(self, node_id: str,
+                      *, seed: Optional[int] = None) -> Dict[str, int]:
+        """Scramble ``node_id``'s time-service state in every deployed
+        group — the ``corrupt-state`` chaos event.  Returns what was
+        scrambled per group (empty for baseline sources); draws from a
+        ``random.Random`` seeded with ``(seed, node_id)`` — defaulting
+        to the bed's chaos seed — so a seeded schedule corrupts
+        identically across runs."""
+        import random
+
+        from .chaos.byzantine import corrupt_time_state
+
+        if seed is None:
+            seed = getattr(self, "chaos_seed", None) or 0
+        rng = random.Random(f"{seed}|corrupt|{node_id}")
+        details: Dict[str, Dict[str, int]] = {}
+        for group, replicas in self.services.items():
+            replica = replicas.get(node_id)
+            if replica is None:
+                continue
+            scrambled = corrupt_time_state(replica.time_source, rng)
+            if scrambled:
+                details[group] = scrambled
+        return details
 
 
 class Testbed(TestbedBase):

@@ -15,13 +15,21 @@ from repro.chaos.scenario import (
 )
 from repro.errors import ConfigurationError
 
-EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "chaos_partition.yaml"
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE = EXAMPLES / "chaos_partition.yaml"
+BYZANTINE_EXAMPLE = EXAMPLES / "chaos_byzantine.yaml"
 
 #: The committed scenario's seeded schedule digest.  If this changes,
 #: every recorded chaos verdict stops being reproducible — update the
 #: EXPERIMENTS.md entry in the same commit, or don't change the hash.
 EXAMPLE_SCHEDULE_HASH = (
     "f49fc35322afb80ab08a11bc06987fdaa54e9ef93b8c8ed77eb9766abdc8fc0f")
+
+#: Same pin for the Byzantine scenario.  This one also guards the
+#: canonicalization of the lie/equivocate/corrupt-state event kinds:
+#: their targets must keep hashing exactly as they do today.
+BYZANTINE_SCHEDULE_HASH = (
+    "8de80eefae409ad746c4f4af387482a5d70fe63e20f93379432f5e0f677a1dab")
 
 
 class TestYamlSubset:
@@ -141,6 +149,39 @@ class TestCompile:
         with pytest.raises(ConfigurationError, match="event #0"):
             compile_plan(scenario)
 
+    def test_byzantine_example_compiles_to_expected_kinds(self):
+        scenario = load_scenario(BYZANTINE_EXAMPLE)
+        assert scenario.auth is True
+        plan = compile_plan(scenario)
+        assert [e.kind for e in plan.schedule()] == [
+            "lie", "equivocate", "corrupt-state", "lie", "equivocate"]
+
+    def test_lie_event_carries_node_and_bias(self):
+        scenario = scenario_from_dict({
+            "events": [{"at": 1.0, "lie": "n2", "bias": 50_000}]})
+        (event,) = compile_plan(scenario).schedule()
+        assert event.kind == "lie"
+        assert event.target == ("n2", 50_000)
+
+    def test_equivocate_event_carries_node_and_spread(self):
+        scenario = scenario_from_dict({
+            "events": [{"at": 1.0, "equivocate": "n2", "spread": 80_000}]})
+        (event,) = compile_plan(scenario).schedule()
+        assert event.kind == "equivocate"
+        assert event.target == ("n2", 80_000)
+
+    def test_corrupt_state_event_carries_node(self):
+        scenario = scenario_from_dict({
+            "events": [{"at": 1.0, "corrupt-state": "n1"}]})
+        (event,) = compile_plan(scenario).schedule()
+        assert event.kind == "corrupt-state"
+        assert event.target == ("n1",)
+
+    def test_auth_defaults_off(self):
+        scenario = scenario_from_dict({
+            "events": [{"at": 1.0, "crash": "n0"}]})
+        assert scenario.auth is False
+
     def test_json_scenario_loads(self, tmp_path):
         path = tmp_path / "s.json"
         path.write_text(json.dumps({
@@ -175,6 +216,29 @@ class TestReproducibilityPin:
         }))
         assert (compile_plan(load_scenario(path)).schedule_hash()
                 == EXAMPLE_SCHEDULE_HASH)
+
+    def test_byzantine_schedule_hash_is_pinned(self):
+        plan = compile_plan(load_scenario(BYZANTINE_EXAMPLE))
+        assert plan.schedule_hash() == BYZANTINE_SCHEDULE_HASH
+
+    def test_byzantine_kinds_hash_canonically(self):
+        # The generic FaultEvent.canonical() must keep covering the new
+        # kinds: a changed magnitude or target must change the digest,
+        # and identical schedules must collide.
+        base = ChaosScenario("t", ["n0", "n1"], 1.0, events=[
+            {"at": 1.0, "lie": "n1", "bias": 50_000}])
+        same = ChaosScenario("t", ["n0", "n1"], 1.0, events=[
+            {"at": 1.0, "lie": "n1", "bias": 50_000}])
+        rebias = ChaosScenario("t", ["n0", "n1"], 1.0, events=[
+            {"at": 1.0, "lie": "n1", "bias": 50_001}])
+        renode = ChaosScenario("t", ["n0", "n1"], 1.0, events=[
+            {"at": 1.0, "lie": "n0", "bias": 50_000}])
+        rekind = ChaosScenario("t", ["n0", "n1"], 1.0, events=[
+            {"at": 1.0, "equivocate": "n1", "spread": 50_000}])
+        digest = lambda s: compile_plan(s).schedule_hash()  # noqa: E731
+        assert digest(base) == digest(same)
+        assert len({digest(s)
+                    for s in (base, rebias, renode, rekind)}) == 4
 
     def test_hash_sees_every_event_change(self):
         base = ChaosScenario("t", ["n0", "n1"], 1.0,
