@@ -118,6 +118,11 @@ class InvariantOracle:
         #: a corrupted-but-correct replica is inside its repair window
         #: its commits are excluded; afterwards agreement is re-enforced.
         self._corrupted: Dict[str, Tuple[int, int]] = {}
+        #: client -> shard that served its last reply (sharded runs).
+        self._shard_of: Dict[str, Any] = {}
+        self.migrations_checked = 0
+        self.shard_summaries_checked = 0
+        self.shard_resyncs = 0
         self._unsubscribe = None
 
     # -- lifecycle -------------------------------------------------------
@@ -137,10 +142,25 @@ class InvariantOracle:
 
     def observe_reply(self, client_id: str, value_us: int, *,
                       wall_s: float, rtt_s: float = 0.0,
-                      trace_id: Optional[str] = None) -> None:
+                      trace_id: Optional[str] = None,
+                      shard: Optional[Any] = None,
+                      rate_slack_us: float = 0.0) -> None:
         """Feed one successful client call (reply received at ``wall_s``
         on the monotonic clock, after ``rtt_s`` seconds in flight).
-        ``trace_id`` links the reply to its cross-node timeline."""
+        ``trace_id`` links the reply to its cross-node timeline.
+
+        ``shard`` identifies which shard served the reply (sharded
+        runs).  A shard change is a **migration**: strict monotonicity
+        is still enforced — that is exactly the cross-shard guarantee
+        the session floor provides — but the staleness/rate check is
+        reset, because the destination group's clock legitimately sits
+        up to the inter-shard skew away from the source's (and the
+        floor ramp may stall the first reply).
+
+        ``rate_slack_us`` widens the staleness/rate window — sharded
+        runs pass the overlay's hop bound here, because gradient
+        steering legitimately advances a trailing shard's clock faster
+        than wall time while it converges on a neighbor."""
         if trace_id is not None:
             traces = self._traces.setdefault(client_id, [])
             traces.append(trace_id)
@@ -154,9 +174,24 @@ class InvariantOracle:
         self.replies_checked += 1
         prev = self._last.get(client_id)
         self._last[client_id] = (value_us, wall_s, rtt_s)
+        prev_shard = self._shard_of.get(client_id)
+        if shard is not None:
+            self._shard_of[client_id] = shard
+        migrated = (shard is not None and prev_shard is not None
+                    and shard != prev_shard)
         if prev is None:
             return
         prev_value, prev_wall, prev_rtt = prev
+        if migrated:
+            self.migrations_checked += 1
+            if value_us <= prev_value:
+                self._flag("migration", client_id,
+                           f"migrating {prev_shard} -> {shard} went "
+                           f"{prev_value} -> {value_us} (the carried "
+                           f"session floor must keep values strictly "
+                           f"increasing across shards)",
+                           list(log))
+            return  # rate baseline resets across shards
         if value_us <= prev_value:
             self._flag("monotonicity", client_id,
                        f"value went {prev_value} -> {value_us} "
@@ -172,6 +207,7 @@ class InvariantOracle:
         dv_us = value_us - prev_value
         dw_us = (wall_s - prev_wall) * 1e6
         slack_us = (self.staleness_budget_us
+                    + rate_slack_us
                     + (rtt_s + prev_rtt) * 1e6
                     + abs(dw_us) * self.drift_ppm * 1e-6
                     + 1_000.0)  # floor for scheduling noise
@@ -181,6 +217,28 @@ class InvariantOracle:
                        f"{dw_us:.0f} us of wall time "
                        f"(allowed slack {slack_us:.0f} us)",
                        list(log))
+
+    def observe_shard_summary(self, src_shard, dst_shard, delta_us: int, *,
+                              bound_us: int, error_us: int = 0,
+                              resync: bool = False) -> None:
+        """Feed one overlay summary delivery: ``delta_us`` is the
+        sender's advertised group clock minus the receiver's estimate.
+
+        The gradient bound says ring neighbors stay within the per-hop
+        envelope, so ``|delta| <= bound + error`` must hold at every
+        delivery — except the first one after a silence (``resync``:
+        partition heal, primary failover), where the backlog is being
+        steered away and is counted but not judged."""
+        self.shard_summaries_checked += 1
+        if resync:
+            self.shard_resyncs += 1
+            return
+        if abs(delta_us) > bound_us + error_us:
+            self._flag("shard-skew", f"{src_shard}->{dst_shard}",
+                       f"neighbor delta {delta_us} us exceeds the hop "
+                       f"envelope ({bound_us} us + {error_us} us error "
+                       f"bound)",
+                       [(src_shard, dst_shard, delta_us, bound_us, error_us)])
 
     def note_recovery(self, node_id: str) -> None:
         """Record that ``node_id`` was recovered (its post-recovery rounds
@@ -223,7 +281,11 @@ class InvariantOracle:
             return
         node = event.node
         group_us = event.fields.get("group_us")
-        key = (event.fields.get("thread"), event.fields.get("round"))
+        # The group is part of the round identity: a sharded run
+        # completes independent rounds with identical (thread, round)
+        # coordinates in every shard.
+        key = (event.fields.get("group"), event.fields.get("thread"),
+               event.fields.get("round"))
         self.rounds_checked += 1
         self._rounds_by_node[node] = self._rounds_by_node.get(node, 0) + 1
         if self._excluded(node):
@@ -233,33 +295,44 @@ class InvariantOracle:
             self._rounds[key] = (group_us, node)
         elif seen[0] != group_us:
             self._flag("agreement", node,
-                       f"round {key[1]} of thread {key[0]!r}: {node} "
+                       f"round {key[2]} of thread {key[1]!r}: {node} "
                        f"committed group={group_us} but {seen[1]} "
                        f"committed group={seen[0]}",
                        [seen, (group_us, node)])
 
     # -- post-run checks -------------------------------------------------
 
-    def finish(self, bed=None, *, group: Optional[str] = None) -> None:
-        """Run the end-of-run checks against the testbed's replicas."""
+    def finish(self, bed=None, *, group: Optional[str] = None,
+               groups: Optional[List[str]] = None) -> None:
+        """Run the end-of-run checks against the testbed's replicas.
+
+        ``group`` audits one group; ``groups`` audits several (one per
+        shard in sharded runs).  The recovery/stabilization checks are
+        per node and run once either way.
+        """
         self.detach()
-        if bed is not None and group is not None and group in bed.services:
-            for node_id, replica in bed.replicas(group).items():
-                if node_id in self._faulty:
-                    continue  # a Byzantine replica owes no identity
-                state = getattr(replica.time_source, "clock_state", None)
-                if state is None:
-                    continue  # baseline source; nothing to re-derive
-                for entry in state.history:
-                    group_us, physical_us, offset_us = entry
-                    if offset_us != group_us - physical_us:
-                        self._flag(
-                            "offset", node_id,
-                            f"commit {entry} violates "
-                            f"offset = group - physical "
-                            f"({offset_us} != {group_us - physical_us})",
-                            list(state.history[-8:]))
-                        break
+        audit = list(groups) if groups is not None else (
+            [group] if group is not None else [])
+        if bed is not None:
+            for audited in audit:
+                if audited not in bed.services:
+                    continue
+                for node_id, replica in bed.replicas(audited).items():
+                    if node_id in self._faulty:
+                        continue  # a Byzantine replica owes no identity
+                    state = getattr(replica.time_source, "clock_state", None)
+                    if state is None:
+                        continue  # baseline source; nothing to re-derive
+                    for entry in state.history:
+                        group_us, physical_us, offset_us = entry
+                        if offset_us != group_us - physical_us:
+                            self._flag(
+                                "offset", node_id,
+                                f"commit {entry} violates "
+                                f"offset = group - physical "
+                                f"({offset_us} != {group_us - physical_us})",
+                                list(state.history[-8:]))
+                            break
         for node_id, rounds_before in self._recovered.items():
             if self._rounds_by_node.get(node_id, 0) <= rounds_before:
                 self._flag(
@@ -319,6 +392,9 @@ class InvariantOracle:
             "replies_checked": self.replies_checked,
             "rounds_checked": self.rounds_checked,
             "clients": len(self._replies),
+            "migrations_checked": self.migrations_checked,
+            "shard_summaries_checked": self.shard_summaries_checked,
+            "shard_resyncs": self.shard_resyncs,
             "faulty": sorted(self._faulty),
             "corrupted": sorted(self._corrupted),
             "violations": [v.as_dict() for v in self.violations],

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ConfigurationError
+from ..shard.cluster import shard_nodes
 from ..sim.faults import FaultPlan
 
 # ---------------------------------------------------------------------------
@@ -237,6 +238,13 @@ class ChaosScenario:
     #: Authenticated-Byzantine mode: sign/verify ring frames with HMAC
     #: and enable the CTS winner sanity filter + self-stabilization.
     auth: bool = False
+    #: Sharded topology: run this many CCS groups (shards) of
+    #: ``shard_size`` servers each instead of one flat ring.  Node ids
+    #: become ``s{g}n{r}`` (servers) / ``s{g}c`` (shard client), and
+    #: shard-scoped event targets (``partition: {shards: [...]}``)
+    #: become available.  None = the classic single-group run.
+    shards: Optional[int] = None
+    shard_size: int = 3
 
     @property
     def n_nodes(self) -> int:
@@ -259,23 +267,39 @@ def scenario_from_dict(data: Any, *, source: str = "<scenario>") -> ChaosScenari
         raise ConfigurationError(
             f"{source}: scenario must be a mapping, got {type(data).__name__}")
     known = {"name", "nodes", "duration", "duration_s", "clients", "events",
-             "auth"}
+             "auth", "shards", "shard_size"}
     unknown = set(data) - known
     if unknown:
         raise ConfigurationError(
             f"{source}: unknown scenario key(s) {sorted(unknown)}; "
             f"expected {sorted(known)}")
 
-    nodes = data.get("nodes", 3)
-    if isinstance(nodes, int):
-        if nodes < 1:
-            raise ConfigurationError(f"{source}: nodes must be >= 1")
-        node_ids = [f"n{i}" for i in range(nodes)]
-    elif isinstance(nodes, list) and all(isinstance(n, str) for n in nodes):
-        node_ids = list(nodes)
+    shards = data.get("shards")
+    shard_size = data.get("shard_size", 3)
+    if shards is not None and (not isinstance(shards, int) or shards < 1):
+        raise ConfigurationError(f"{source}: shards must be a positive int")
+    if not isinstance(shard_size, int) or shard_size < 1:
+        raise ConfigurationError(f"{source}: shard_size must be a positive int")
+
+    if shards is not None:
+        if "nodes" in data:
+            raise ConfigurationError(
+                f"{source}: 'nodes' and 'shards' are mutually exclusive — "
+                f"a sharded topology derives its node ids")
+        node_ids = []
+        for shard in range(shards):
+            node_ids.extend(shard_nodes(shard, shard_size))
     else:
-        raise ConfigurationError(
-            f"{source}: nodes must be an int or a list of node ids")
+        nodes = data.get("nodes", 3)
+        if isinstance(nodes, int):
+            if nodes < 1:
+                raise ConfigurationError(f"{source}: nodes must be >= 1")
+            node_ids = [f"n{i}" for i in range(nodes)]
+        elif isinstance(nodes, list) and all(isinstance(n, str) for n in nodes):
+            node_ids = list(nodes)
+        else:
+            raise ConfigurationError(
+                f"{source}: nodes must be an int or a list of node ids")
 
     duration = data.get("duration", data.get("duration_s", 10.0))
     if not isinstance(duration, (int, float)) or duration <= 0:
@@ -308,6 +332,8 @@ def scenario_from_dict(data: Any, *, source: str = "<scenario>") -> ChaosScenari
         clients=clients,
         events=events,
         auth=bool(data.get("auth", False)),
+        shards=shards,
+        shard_size=shard_size,
     )
 
 
@@ -334,12 +360,44 @@ def compile_plan(scenario: ChaosScenario) -> FaultPlan:
                 plan.heal(at=at)
             elif "partition" in event:
                 components = event["partition"]
-                if not isinstance(components, list) or not all(
+                if isinstance(components, dict) and "shards" in components:
+                    # Shard-scoped target: each listed shard becomes its
+                    # own component (servers + shard client); everyone
+                    # else stays connected in a final component.  Pure
+                    # expansion from scenario fields, so the schedule
+                    # hash stays canonical.
+                    if scenario.shards is None:
+                        raise ConfigurationError(
+                            "partition by shards requires a sharded "
+                            "scenario (top-level 'shards')")
+                    listed = components["shards"]
+                    if (not isinstance(listed, list) or not listed
+                            or not all(isinstance(s, int) for s in listed)):
+                        raise ConfigurationError(
+                            "partition shards must be a non-empty list of "
+                            "shard indices, e.g. {shards: [0, 2]}")
+                    expanded, covered = [], set()
+                    for shard in listed:
+                        if not 0 <= shard < scenario.shards:
+                            raise ConfigurationError(
+                                f"shard {shard} out of range "
+                                f"(scenario has {scenario.shards})")
+                        nodes = shard_nodes(shard, scenario.shard_size)
+                        expanded.append(set(nodes))
+                        covered.update(nodes)
+                    rest = [n for n in scenario.node_ids if n not in covered]
+                    if rest:
+                        expanded.append(set(rest))
+                    plan.partition(*expanded, at=at)
+                elif not isinstance(components, list) or not all(
                         isinstance(c, list) for c in components):
                     raise ConfigurationError(
                         "partition must be a list of node lists, e.g. "
-                        "[[n0, n1], [n2]]")
-                plan.partition(*[set(map(str, c)) for c in components], at=at)
+                        "[[n0, n1], [n2]], or {shards: [...]} in a "
+                        "sharded scenario")
+                else:
+                    plan.partition(*[set(map(str, c)) for c in components],
+                                   at=at)
             elif "drop" in event:
                 plan.drop(float(event["drop"]), at=at, src=src, dst=dst)
             elif "delay" in event:

@@ -29,6 +29,13 @@ in-process cluster, judged by the invariant oracle::
     python -m repro trace --shards chaos-artifacts
     python -m repro loadgen --chaos --assert-counters
 
+Sharded time domains (see ``docs/sharding.md``) — N rings, a routing
+tier, and the gradient sync overlay bounding inter-shard skew::
+
+    python -m repro loadgen --shards 4 --bench-json BENCH_throughput.json
+    python -m repro loadgen --shards 4 --zipf 1.2 --assert-counters
+    python -m repro chaos --scenario examples/chaos_shards.yaml --seed 7
+
 Observability: every experiment accepts ``--metrics out.jsonl`` (enable
 the metrics registry and dump a JSONL + Prometheus-text export) and
 ``--trace`` (stream protocol trace events to stderr); see
@@ -153,6 +160,17 @@ def cmd_loadgen(args) -> int:
         run_loadgen_comparison,
     )
 
+    if args.shards is not None and not args.chaos:
+        try:
+            shards = int(args.shards)
+        except ValueError:
+            print(f"loadgen: --shards expects a shard count, got "
+                  f"{args.shards!r}", file=sys.stderr)
+            return 2
+        if shards < 1:
+            print("loadgen: --shards must be >= 1", file=sys.stderr)
+            return 2
+        return _loadgen_sharded(args, shards)
     if args.duration is None:
         args.duration = 0.3
     if args.chaos:
@@ -224,6 +242,91 @@ def cmd_loadgen(args) -> int:
                 failures.append("the fast path never served a read")
             if target.errors:
                 failures.append(f"{target.errors} client calls failed")
+        for failure in failures:
+            print(f"ASSERT: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+def _loadgen_sharded(args, shards: int) -> int:
+    """``loadgen --shards N``: aggregate scaling over sharded domains.
+
+    Runs the single-shard baseline and the N-shard fleet at the *same
+    per-shard concurrency*, prints per-shard ops/s plus the measured
+    inter-shard skew envelope, and (with ``--bench-json``) appends the
+    scaling measurement to the benchmark trajectory.
+    """
+    from .workloads import record_shard_benchmark, run_loadgen_sharded
+
+    duration = args.duration if args.duration is not None else 0.5
+    concurrency = args.concurrency
+    if concurrency > 8 and shards > 1:
+        # 16 closed-loop workers *per shard* would make the simulated
+        # fleet run for minutes; the default flat-mode concurrency is
+        # not a sensible per-shard population.
+        concurrency = 8
+    single = run_loadgen_sharded(
+        shards=1, shard_size=args.shard_size, concurrency=concurrency,
+        duration_s=duration, seed=args.seed, zipf_s=0.0,
+        fast_path=True, max_staleness_us=args.max_staleness_us)
+    sharded = run_loadgen_sharded(
+        shards=shards, shard_size=args.shard_size, concurrency=concurrency,
+        duration_s=duration, seed=args.seed, zipf_s=args.zipf,
+        fast_path=True, max_staleness_us=args.max_staleness_us)
+
+    ops = sharded.per_shard_ops_per_s()
+    rows = [["single-shard", "-", f"{single.completed}",
+             f"{single.ops_per_s:.0f}", f"{single.p50_us:.0f}",
+             f"{single.p99_us:.0f}"]]
+    for shard in sorted(sharded.per_shard_completed):
+        rows.append([f"shard {shard}", f"{shards}",
+                     f"{sharded.per_shard_completed[shard]}",
+                     f"{ops[shard]:.0f}", "-", "-"])
+    rows.append(["aggregate", f"{shards}", f"{sharded.completed}",
+                 f"{sharded.ops_per_s:.0f}", f"{sharded.p50_us:.0f}",
+                 f"{sharded.p99_us:.0f}"])
+    print(format_table(
+        ["population", "shards", "completed", "ops/s", "p50 us", "p99 us"],
+        rows,
+        title=f"LOADGEN sharded, {concurrency} workers/shard x "
+              f"{duration:.2f} s" + (f", zipf s={args.zipf}" if args.zipf
+                                     else "")))
+    scaling = (sharded.ops_per_s / single.ops_per_s
+               if single.ops_per_s else 0.0)
+    envelope = sharded.skew_envelope
+    print(f"aggregate scaling vs single shard: x{scaling:.2f}")
+    print(f"skew envelope (post-warmup, {envelope.get('samples', 0)} "
+          f"samples): max inter-shard {envelope.get('max_skew_us', 0)} us, "
+          f"max ring-hop {envelope.get('max_hop_skew_us', 0)} us")
+    if sharded.zipf_s:
+        print(f"zipf imbalance: hottest shard at x{sharded.imbalance:.2f} "
+              f"of fair share")
+    oracle = sharded.oracle_report or {}
+    violations = oracle.get("violations", [])
+    print(f"oracle: {'OK' if oracle.get('ok') else 'VIOLATIONS'} "
+          f"({oracle.get('replies_checked', 0)} replies, "
+          f"{oracle.get('shard_summaries_checked', 0)} summaries checked)")
+    if args.bench_json:
+        record_shard_benchmark(args.bench_json, single, sharded)
+        print(f"benchmark trajectory appended to {args.bench_json}",
+              file=sys.stderr)
+    if args.assert_counters:
+        failures = []
+        if not oracle.get("ok"):
+            failures.append(
+                f"oracle flagged {len(violations)} violations")
+        if envelope.get("samples", 0) <= 0:
+            failures.append("skew envelope has no post-warmup samples")
+        if len(sharded.per_shard_completed) < (shards if not sharded.zipf_s
+                                               else 1):
+            failures.append("some shards served no calls")
+        if any(n <= 0 for n in sharded.per_shard_completed.values()):
+            failures.append("a shard served zero calls")
+        if sharded.errors:
+            failures.append(f"{sharded.errors} client calls failed")
+        if shards > 1 and scaling < 0.6 * shards:
+            failures.append(
+                f"aggregate scaling x{scaling:.2f} below 0.6 x {shards}")
         for failure in failures:
             print(f"ASSERT: {failure}", file=sys.stderr)
         return 1 if failures else 0
@@ -568,14 +671,26 @@ def cmd_chaos(args) -> int:
     except (OSError, ConfigurationError, ValueError) as error:
         print(f"chaos: {error}", file=sys.stderr)
         return 2
-    verdict = run_chaos(
-        scenario,
-        seed=args.seed,
-        duration_s=args.duration,
-        clients=args.clients,
-        max_staleness_us=args.max_staleness_us,
-        artifacts_dir=args.artifacts_dir,
-    )
+    if scenario.shards is not None:
+        from .shard import run_shard_chaos
+
+        verdict = run_shard_chaos(
+            scenario,
+            seed=args.seed,
+            duration_s=args.duration,
+            clients=args.clients,
+            max_staleness_us=args.max_staleness_us,
+            artifacts_dir=args.artifacts_dir,
+        )
+    else:
+        verdict = run_chaos(
+            scenario,
+            seed=args.seed,
+            duration_s=args.duration,
+            clients=args.clients,
+            max_staleness_us=args.max_staleness_us,
+            artifacts_dir=args.artifacts_dir,
+        )
     text = json.dumps(verdict, indent=2, sort_keys=True)
     print(text)
     if args.verdict_json:
@@ -770,7 +885,15 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--assert-counters", action="store_true",
                       help="exit nonzero unless coalescing (and, with "
                            "--fast-path, fast path) counters are nonzero "
-                           "— the CI perf smoke check")
+                           "— the CI perf smoke check; in sharded mode, "
+                           "requires a clean oracle, a measured skew "
+                           "envelope and near-linear aggregate scaling")
+    load.add_argument("--shard-size", type=int, default=3,
+                      help="loadgen --shards: replicas per shard ring")
+    load.add_argument("--zipf", type=float, default=0.0,
+                      help="loadgen --shards: zipf exponent for the "
+                           "client population (0 = uniform; ~1.2 gives "
+                           "a visibly hot shard)")
     chaos = parser.add_argument_group(
         "chaos", "options for 'chaos' (see docs/chaos.md)")
     chaos.add_argument("--scenario", default=None, metavar="FILE",
@@ -787,8 +910,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(for CI artifact upload)")
     tracecmd = parser.add_argument_group(
         "trace", "options for 'trace' (cross-node timeline rendering)")
-    tracecmd.add_argument("--shards", default=None, metavar="DIR",
-                          help="trace: directory of trace-*.jsonl shards "
+    tracecmd.add_argument("--shards", default=None, metavar="N|DIR",
+                          help="loadgen: shard count for the sharded bench "
+                               "(time domains, see docs/sharding.md); "
+                               "trace: directory of trace-*.jsonl shards "
                                "(chaos --artifacts-dir / serve --trace-dir)")
     tracecmd.add_argument("--jsonl", action="store_true",
                           help="trace: emit one JSON timeline per line "

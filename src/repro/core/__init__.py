@@ -10,6 +10,7 @@ from .ccs_handler import CCSHandler, PendingRound
 from .drift import (
     AlignedReferenceSteering,
     DriftCompensation,
+    GradientSteering,
     MeanDelayCompensation,
     NoCompensation,
     ReferenceSteering,
@@ -36,6 +37,7 @@ __all__ = [
     "ClockCall",
     "ConsistentTimeService",
     "DriftCompensation",
+    "GradientSteering",
     "GroupClockStamp",
     "GroupClockState",
     "MODE_ACTIVE",

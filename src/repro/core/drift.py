@@ -67,6 +67,17 @@ class DriftCompensation(abc.ABC):
         clock (line 4)."""
         return proposal_us
 
+    def adjust_fast_value(self, value_us: int) -> int:
+        """Hook applied to a drift-bounded fast-path reading.
+
+        Defaults to :meth:`adjust_proposal` — continuous compensators
+        steer every served value the same way.  Stateful one-shot
+        compensators (:class:`GradientSteering`) override this to a
+        no-op so their pending correction is spent on a CCS round
+        proposal, where the commit makes it durable group state, rather
+        than on a single local read."""
+        return self.adjust_proposal(value_us)
+
 
 class NoCompensation(DriftCompensation):
     """The algorithm exactly as in Figure 2: drifts slow over time."""
@@ -118,6 +129,89 @@ class ReferenceSteering(DriftCompensation):
     def adjust_proposal(self, proposal_us: int) -> int:
         difference = self.reference_us() - proposal_us
         return proposal_us + int(self.proportion * difference)
+
+
+class GradientSteering(DriftCompensation):
+    """Steer proposals toward neighboring shards' group clocks.
+
+    The cross-shard sync overlay (:mod:`repro.shard.overlay`) delivers
+    signed clock summaries from ring neighbors; the positive part of
+    each neighbor delta (neighbor group clock minus ours) is recorded
+    here and folded into the *next local proposal* — never into a
+    delivered group value, so intra-group agreement is untouched and
+    :meth:`GroupClockState.clamp_to_floor` still guarantees the group
+    clock never regresses.
+
+    Applying only positive deltas makes every shard chase the fastest
+    one (the gradient-clock idiom from the TRIX line of work): the
+    system converges toward the maximum group clock instead of
+    oscillating around a mean.  Per delivery the step is bounded by
+    ``proportion * pending`` capped at ``max_step_us``, which yields the
+    per-hop envelope documented in docs/sharding.md — except during
+    initial alignment, when shard epochs may sit seconds apart: a
+    pending delta at or above ``align_threshold_us`` is applied in full
+    once (a forward jump is always monotone-safe).
+
+    One instance is shared by all replicas of a group (the testbed hands
+    a single drift object to every replica factory).  The pending
+    correction is consumed by whichever replica proposes first; if a
+    losing proposal consumed it, the next summary re-measures the
+    remaining gap, so corrections are never permanently lost.
+    """
+
+    name = "gradient-steering"
+
+    def __init__(self, proportion: float = 0.5, *, max_step_us: int = 500,
+                 align_threshold_us: int = 50_000):
+        if not 0.0 < proportion <= 1.0:
+            raise ValueError("proportion must be in (0, 1]")
+        if max_step_us < 1:
+            raise ValueError("max_step_us must be >= 1")
+        if align_threshold_us <= max_step_us:
+            raise ValueError("align_threshold_us must exceed max_step_us")
+        self.proportion = proportion
+        self.max_step_us = int(max_step_us)
+        self.align_threshold_us = int(align_threshold_us)
+        self._pending_us: int = 0
+        self.deltas_observed = 0
+        self.steps_applied = 0
+        self.align_jumps = 0
+
+    @property
+    def pending_us(self) -> int:
+        """The neighbor correction awaiting the next proposal."""
+        return self._pending_us
+
+    def observe_neighbor_delta(self, delta_us: int) -> None:
+        """Record a neighbor's lead over our group clock.
+
+        Non-positive deltas (we are ahead or level) are ignored — the
+        slower side is the one that steers.  Concurrent summaries from
+        both neighbors keep the largest lead.
+        """
+        self.deltas_observed += 1
+        if delta_us > self._pending_us:
+            self._pending_us = int(delta_us)
+
+    def adjust_proposal(self, proposal_us: int) -> int:
+        pending = self._pending_us
+        if pending <= 0:
+            return proposal_us
+        self._pending_us = 0
+        if pending >= self.align_threshold_us:
+            self.align_jumps += 1
+            return proposal_us + pending
+        step = min(self.max_step_us, int(self.proportion * pending))
+        if step <= 0:
+            step = 1  # pending > 0: always make forward progress
+        self.steps_applied += 1
+        return proposal_us + step
+
+    def adjust_fast_value(self, value_us: int) -> int:
+        # Never spend the one-shot correction on a local fast-path read:
+        # a step served there lives only in one replica's fast floor and
+        # is mostly lost, while a round proposal commits it group-wide.
+        return value_us
 
 
 class AlignedReferenceSteering(ReferenceSteering):

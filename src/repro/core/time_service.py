@@ -391,6 +391,7 @@ class ConsistentTimeService(TimeSource):
         if trace.TRACER.enabled:
             trace.emit(
                 "round.complete", self.node_id,
+                group=self.replica.group,
                 thread=handler.my_thread_id, round=pending.round_number,
                 group_us=group_us, offset_us=self.clock_state.offset_us,
                 latency_us=(self.sim.now - pending.started_at) * 1e6,
@@ -494,7 +495,7 @@ class ConsistentTimeService(TimeSource):
                 M_FAST_FALLBACKS.inc(node=self.node_id)
             return None
         value = self.clock_state.clamp_to_floor(
-            self.drift.adjust_proposal(self.clock_state.propose(physical_us))
+            self.drift.adjust_fast_value(self.clock_state.propose(physical_us))
         )
         if self.byzantine:
             hi = (self.clock_state.last_group_us + elapsed
@@ -702,6 +703,7 @@ class ConsistentTimeService(TimeSource):
         if trace.TRACER.enabled:
             trace.emit(
                 "round.complete", self.node_id,
+                group=self.replica.group,
                 thread=handler.my_thread_id, round=msg.round_number,
                 group_us=group_us, offset_us=self.clock_state.offset_us,
                 batch=len(served),

@@ -124,8 +124,12 @@ M_GW_REPLAYED = obs.REGISTRY.counter(
     "gateway_replies_replayed_total",
     "recorded replies re-sent to a retrying client")
 
-#: An operation id as seen by the gateway.
-_OpKey = Tuple[str, int, int]  # (client group, conn_id, seq)
+#: An operation id as seen by the gateway.  The *service* group is part
+#: of the identity: a sharded deployment fronts many groups, and the
+#: same client may reuse (conn, seq) counters against different shards
+#: — without the group a retry against shard B could replay shard A's
+#: recorded reply.
+_OpKey = Tuple[str, str, int, int]  # (service group, client group, conn, seq)
 
 
 class ClientGateway:
@@ -163,7 +167,8 @@ class ClientGateway:
         header = envelope.header
         client_group = header.src_grp
         self.routes[client_group] = frame.addr
-        key: _OpKey = (client_group, header.conn_id, header.msg_seq_num)
+        key: _OpKey = (header.dst_grp, client_group,
+                       header.conn_id, header.msg_seq_num)
         if frame.trace is not None:
             # Replies to this operation travel as (service group ->
             # client group) envelopes with the same (conn, seq); park the
@@ -231,7 +236,10 @@ class ClientGateway:
                            trace=context.trace_id, conn=header.conn_id,
                            seq=header.msg_seq_num, replica=envelope.sender,
                            t=self.runtime.sim.now)
-        key: _OpKey = (client_group, header.conn_id, header.msg_seq_num)
+        # Replies travel service group -> client group, so the service
+        # group is the envelope's *source* here.
+        key: _OpKey = (header.src_grp, client_group,
+                       header.conn_id, header.msg_seq_num)
         recorded = self._seen.get(key)
         if recorded is not None:
             recorded.append(envelope)

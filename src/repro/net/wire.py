@@ -53,6 +53,7 @@ from ..replication.codec import (
     encode_envelope,
 )
 from ..replication.envelope import Envelope
+from ..shard.summary import ShardSummary
 from ..totem.messages import (
     CommitMemberInfo,
     CommitToken,
@@ -92,6 +93,7 @@ _KIND_COMMIT = 4
 _KIND_BEACON = 5
 _KIND_JSON = 6
 _KIND_LOST = 7
+_KIND_SUMMARY = 8
 
 
 # -- primitives -----------------------------------------------------------
@@ -203,6 +205,15 @@ def encode_payload(payload: Any) -> bytes:
         )
     if isinstance(payload, LostMessage):
         return bytes([_KIND_LOST])
+    if isinstance(payload, ShardSummary):
+        return (
+            bytes([_KIND_SUMMARY])
+            + struct.pack("<qqqqq", payload.shard, payload.value_us,
+                          payload.offset_us, payload.round_seq,
+                          payload.error_us)
+            + _pack_str(payload.group)
+            + _pack_str(payload.signature)
+        )
     # Fallback: any JSON-able payload (e.g. TotemBus pub/sub traffic).
     try:
         return bytes([_KIND_JSON]) + _pack_json(payload)
@@ -281,6 +292,14 @@ def decode_payload(buffer: bytes, offset: int = 0) -> Tuple[Any, int]:
             return _unpack_json(buffer, offset)
         if kind == _KIND_LOST:
             return LostMessage(), offset
+        if kind == _KIND_SUMMARY:
+            shard, value_us, offset_us, round_seq, error_us = (
+                struct.unpack_from("<qqqqq", buffer, offset))
+            offset += struct.calcsize("<qqqqq")
+            group, offset = _unpack_str(buffer, offset)
+            signature, offset = _unpack_str(buffer, offset)
+            return ShardSummary(shard, group, value_us, offset_us,
+                                round_seq, error_us, signature), offset
         raise FrameError(f"unknown payload kind {kind}", reason="payload")
     except (struct.error, IndexError, UnicodeDecodeError,
             json.JSONDecodeError, CodecError) as exc:

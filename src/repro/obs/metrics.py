@@ -140,6 +140,22 @@ class Gauge(Metric):
         key = _label_key(labels)
         self._series[key] = [float(value), registry.now()]
 
+    def set_max(self, value: float, **labels: Any) -> None:
+        """High-watermark update: keep the largest value seen.
+
+        Used for envelope-style series (e.g. the worst inter-shard skew
+        observed) where a plain :meth:`set` would let a benign sample
+        erase the violation-relevant peak between scrapes.
+        """
+        registry = self.registry
+        if not registry._enabled:
+            return
+        key = _label_key(labels)
+        entry = self._series.get(key)
+        if entry is not None and entry[0] >= value:
+            return
+        self._series[key] = [float(value), registry.now()]
+
     def add(self, amount: float, **labels: Any) -> None:
         registry = self.registry
         if not registry._enabled:

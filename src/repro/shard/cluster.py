@@ -1,0 +1,265 @@
+"""The sharded testbed: N independent Totem rings on one simulated LAN.
+
+Each shard ``g`` is one CCS group ``shard{g}`` — ``shard_size`` server
+nodes ``s{g}n0..`` plus one client node ``s{g}c`` — running its own
+Totem ring.  All shards share a single simulation kernel and network
+substrate, which is what lets the cross-shard overlay (unicast) and
+shard-scoped chaos faults (network partitions) compose with them.
+
+One substrate, many rings, needs **multicast domains**: Totem multicasts
+LAN-wide, and its membership protocol merges *any* join sender into the
+ring, so N rings on one broadcast network would collapse into one.  The
+sharded testbed therefore wraps every node's receiver with a domain
+filter that drops multicast frames originating outside the node's shard
+— the simulated analogue of per-shard VLANs / multicast groups in a
+real deployment.  Unicast frames cross shards freely; that is the
+overlay's channel.  :class:`ShardSummary` payloads are intercepted in
+the same wrapper and routed to the overlay (they are addressed to a
+node, not a group, so Totem should never see them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core import GradientSteering
+from ..errors import ConfigurationError
+from ..sim import Cluster, ClusterConfig
+from ..sim.network import Frame
+from ..testbed import TestbedBase
+from ..totem import TotemConfig
+from .ring import HashRing
+from .summary import ShardSummary
+
+__all__ = ["ShardClusterConfig", "ShardedTestbed",
+           "shard_server_nodes", "shard_client_node", "shard_nodes"]
+
+#: A sink for intercepted summaries: (receiving node, summary) -> None.
+SummarySink = Callable[[str, ShardSummary], None]
+
+
+def shard_server_nodes(shard: int, shard_size: int) -> List[str]:
+    """The server node ids of one shard: ``s{g}n0 .. s{g}n{size-1}``."""
+    return [f"s{shard}n{r}" for r in range(shard_size)]
+
+
+def shard_client_node(shard: int) -> str:
+    """The shard's client/gateway node id: ``s{g}c``."""
+    return f"s{shard}c"
+
+
+def shard_nodes(shard: int, shard_size: int) -> List[str]:
+    """All node ids of one shard (servers then client) — the unit the
+    chaos DSL's shard-scoped partitions operate on."""
+    return shard_server_nodes(shard, shard_size) + [shard_client_node(shard)]
+
+
+@dataclass
+class ShardClusterConfig(ClusterConfig):
+    """Cluster parameters for a sharded deployment.
+
+    ``shards`` rings of ``shard_size`` servers plus one client node
+    each; ``num_nodes`` is derived.  Clock epochs/drift are drawn from
+    the same seeded streams as the flat testbed, so shard group clocks
+    start seconds apart — exactly the condition the gradient overlay's
+    initial alignment has to erase.
+    """
+
+    shards: int = 2
+    shard_size: int = 3
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("need at least one shard")
+        if self.shard_size < 1:
+            raise ConfigurationError("shard_size must be >= 1")
+        self.num_nodes = self.shards * (self.shard_size + 1)
+
+    def node_ids(self) -> List[str]:
+        ids: List[str] = []
+        for shard in range(self.shards):
+            ids.extend(shard_nodes(shard, self.shard_size))
+        return ids
+
+
+class ShardedTestbed(TestbedBase):
+    """``shards`` independent CCS groups on one simulated network.
+
+    Builds the multicast-domain topology, deploys one time-serving group
+    per shard (each sharing one :class:`GradientSteering` instance across
+    its replicas — the overlay's steering input), and exposes the
+    consistent-hash ring the router and overlay both walk.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 3,
+        shard_size: int = 3,
+        seed: int = 0,
+        cluster_config: Optional[ShardClusterConfig] = None,
+        totem_config: Optional[TotemConfig] = None,
+    ):
+        config = cluster_config or ShardClusterConfig(
+            shards=shards, shard_size=shard_size)
+        self.shards = config.shards
+        self.shard_size = config.shard_size
+        self.cluster = Cluster(config, seed=seed)
+        self._domains: Dict[str, frozenset] = {}
+        memberships: Dict[str, List[str]] = {}
+        for shard in range(self.shards):
+            members = self.server_nodes_of(shard) + [self.client_node_of(shard)]
+            domain = frozenset(members)
+            for node_id in members:
+                memberships[node_id] = members
+                self._domains[node_id] = domain
+        self._init_stack(self.cluster.sim, self.cluster.nodes, totem_config,
+                         memberships)
+        #: Set by the overlay: receives intercepted ShardSummary frames.
+        self.summary_sink: Optional[SummarySink] = None
+        #: Shared per-shard steering hooks (populated by deploy_shards).
+        self.steerings: Dict[int, GradientSteering] = {}
+        self.ring = HashRing(list(range(self.shards)))
+        for node_id in self.node_ids:
+            self._install_domain_filter(node_id)
+
+    # -- topology helpers ----------------------------------------------
+
+    def group_of(self, shard: int) -> str:
+        return f"shard{shard}"
+
+    def shard_of_group(self, group: str) -> int:
+        return int(group[len("shard"):])
+
+    def shard_of_node(self, node_id: str) -> int:
+        return int(node_id[1:].split("n")[0].rstrip("c"))
+
+    def server_nodes_of(self, shard: int) -> List[str]:
+        return shard_server_nodes(shard, self.shard_size)
+
+    def client_node_of(self, shard: int) -> str:
+        return shard_client_node(shard)
+
+    def primary_node_of(self, shard: int) -> Optional[str]:
+        """The first live replica's node (deployment order) — the member
+        that speaks for the shard on the overlay."""
+        replicas = self.services.get(self.group_of(shard), {})
+        for node_id in replicas:
+            if self.node(node_id).alive:
+                return node_id
+        return None
+
+    def shard_client(self, shard: int):
+        """An RPC client homed on the shard's client node."""
+        return self.client(self.client_node_of(shard))
+
+    # -- deployment -----------------------------------------------------
+
+    def deploy_shards(
+        self,
+        app_factory,
+        *,
+        fast_path: bool = True,
+        max_staleness_us: int = 2_000,
+        coalesce: bool = True,
+        steering_proportion: float = 0.5,
+        steering_max_step_us: int = 2_000,
+        **deploy_kwargs,
+    ) -> None:
+        """Deploy ``app_factory`` as one active CTS group per shard.
+
+        Every shard gets its own :class:`GradientSteering` (shared by
+        the shard's replicas — the testbed hands one drift object to
+        every factory), recorded in :attr:`steerings` for the overlay.
+        """
+        for shard in range(self.shards):
+            steering = GradientSteering(
+                steering_proportion, max_step_us=steering_max_step_us)
+            self.steerings[shard] = steering
+            self.deploy(
+                self.group_of(shard), app_factory,
+                nodes=self.server_nodes_of(shard),
+                style="active", time_source="cts", drift=steering,
+                fast_path=fast_path, max_staleness_us=max_staleness_us,
+                coalesce=coalesce, **deploy_kwargs,
+            )
+
+    # -- group clock access ---------------------------------------------
+
+    def estimate_group_us(self, shard: int) -> Optional[int]:
+        """The shard's live group-clock estimate: the primary's physical
+        clock plus its committed offset (what the fast path serves).
+        None while the shard has no live primary or no committed round."""
+        node_id = self.primary_node_of(shard)
+        if node_id is None:
+            return None
+        replica = self.services[self.group_of(shard)][node_id]
+        source = replica.time_source
+        clock_state = getattr(source, "clock_state", None)
+        if clock_state is None or clock_state.last_group_us is None:
+            return None
+        return self.node(node_id).read_clock_us() + clock_state.offset_us
+
+    def build_summary(self, shard: int,
+                      secret: Optional[str] = None) -> Optional[ShardSummary]:
+        """The shard's current advertisement, signed if a secret is set."""
+        node_id = self.primary_node_of(shard)
+        if node_id is None:
+            return None
+        replica = self.services[self.group_of(shard)][node_id]
+        source = replica.time_source
+        clock_state = getattr(source, "clock_state", None)
+        if clock_state is None or clock_state.last_group_us is None:
+            return None
+        value_us = self.node(node_id).read_clock_us() + clock_state.offset_us
+        drift_bound = getattr(source, "drift_bound", None)
+        error_us = int(drift_bound.max_error_us) if drift_bound else 0
+        rounds = getattr(getattr(source, "stats", None), "rounds_completed", 0)
+        summary = ShardSummary(
+            shard=shard, group=self.group_of(shard), value_us=value_us,
+            offset_us=clock_state.offset_us, round_seq=rounds,
+            error_us=error_us)
+        return summary.sign(secret)
+
+    def send_summary(self, src_shard: int, dst_shard: int,
+                     summary: ShardSummary) -> bool:
+        """Unicast ``summary`` from ``src_shard``'s primary to
+        ``dst_shard``'s primary.  Returns False if either side has no
+        live primary (the overlay just skips the tick)."""
+        src_node = self.primary_node_of(src_shard)
+        dst_node = self.primary_node_of(dst_shard)
+        if src_node is None or dst_node is None:
+            return False
+        self.node(src_node).iface.unicast(dst_node, summary, size_bytes=96)
+        return True
+
+    # -- multicast domains ----------------------------------------------
+
+    def _install_domain_filter(self, node_id: str) -> None:
+        """Wrap the node's receiver (the Totem processor installed by
+        ``_init_stack``/``recover``) with the shard's multicast domain."""
+        node = self.node(node_id)
+        inner = node._receiver
+        domain = self._domains[node_id]
+
+        def filtered(frame: Frame,
+                     node_id: str = node_id, inner=inner) -> None:
+            payload = frame.payload
+            if isinstance(payload, ShardSummary):
+                # Overlay traffic: addressed to this node, never Totem's.
+                if self.summary_sink is not None:
+                    self.summary_sink(node_id, payload)
+                return
+            if frame.dst is None and frame.src not in domain:
+                return  # another shard's multicast domain
+            if inner is not None:
+                inner(frame)
+
+        node.set_receiver(filtered)
+
+    def recover(self, node_id: str) -> None:
+        """Restart a crashed node — and re-wrap the rebuilt processor's
+        receiver with the shard's domain filter."""
+        super().recover(node_id)
+        self._install_domain_filter(node_id)

@@ -81,9 +81,16 @@ class TestbedBase:
     __test__ = False  # not a pytest test class, despite the name
 
     def _init_stack(self, sim, nodes: Dict[str, Node],
-                    totem_config: Optional[TotemConfig]) -> None:
+                    totem_config: Optional[TotemConfig],
+                    memberships: Optional[Dict[str, List[str]]] = None) -> None:
         """Install the protocol stack: one Totem processor and one group
-        runtime per node, all sharing the static membership."""
+        runtime per node.
+
+        By default every node shares one static membership (one ring).
+        ``memberships`` maps node ids to per-node membership lists for
+        partitioned deployments — the sharded testbed gives each shard
+        its own ring on a common network substrate.
+        """
         self.sim = sim
         self._nodes = dict(nodes)
         # Metric samples are stamped in this testbed's kernel time.
@@ -92,11 +99,15 @@ class TestbedBase:
         self.processors: Dict[str, TotemProcessor] = {}
         self.runtimes: Dict[str, GroupRuntime] = {}
         static = list(self._nodes)
+        self._memberships: Dict[str, List[str]] = {
+            node_id: list((memberships or {}).get(node_id, static))
+            for node_id in static
+        }
         for node_id in static:
             processor = TotemProcessor(
                 self._nodes[node_id],
                 self.totem_config,
-                static_membership=static,
+                static_membership=self._memberships[node_id],
             )
             self.processors[node_id] = processor
             self.runtimes[node_id] = GroupRuntime(processor)
@@ -281,7 +292,8 @@ class TestbedBase:
         node = self.node(node_id)
         node.recover()
         processor = TotemProcessor(
-            node, self.totem_config, static_membership=self.node_ids
+            node, self.totem_config,
+            static_membership=self._memberships[node_id],
         )
         self.processors[node_id] = processor
         self.runtimes[node_id] = GroupRuntime(processor)

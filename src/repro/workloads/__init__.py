@@ -15,11 +15,15 @@ from .latency import (
 )
 from .loadgen import (
     LoadgenResult,
+    LoadgenShardResult,
     percentile,
     record_benchmark,
+    record_shard_benchmark,
     run_loadgen,
     run_loadgen_chaos,
     run_loadgen_comparison,
+    run_loadgen_sharded,
+    zipf_identities,
 )
 from .recovery import RecoveryClockApp, RecoveryResult, run_recovery_workload
 from .throughput import (
@@ -42,6 +46,7 @@ __all__ = [
     "ITERATION_CHOICES",
     "LatencyRunResult",
     "LoadgenResult",
+    "LoadgenShardResult",
     "PAPER_CPU_PROFILE",
     "RecoveryClockApp",
     "RecoveryResult",
@@ -55,12 +60,15 @@ __all__ = [
     "run_failover_workload",
     "percentile",
     "record_benchmark",
+    "record_shard_benchmark",
     "run_latency_workload",
     "run_loadgen",
     "run_loadgen_chaos",
     "run_loadgen_comparison",
+    "run_loadgen_sharded",
     "run_recovery_workload",
     "run_skew_drift_workload",
     "run_throughput_point",
     "run_throughput_sweep",
+    "zipf_identities",
 ]

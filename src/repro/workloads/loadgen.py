@@ -126,6 +126,287 @@ class LoadgenResult:
         }
 
 
+@dataclass
+class LoadgenShardResult:
+    """One closed-loop measurement against a sharded deployment."""
+
+    shards: int
+    shard_size: int
+    #: Closed-loop workers *per shard* (the population is
+    #: ``shards * concurrency`` workers spread by the routing ring).
+    concurrency: int
+    duration_s: float
+    warmup_s: float
+    zipf_s: float
+    clients: int = 0
+    completed: int = 0
+    errors: int = 0
+    migrations: int = 0
+    latencies_us: List[int] = field(default_factory=list)
+    #: Completed calls served by each shard (keyed by shard id).
+    per_shard_completed: Dict[int, int] = field(default_factory=dict)
+    #: The overlay's post-warmup skew envelope (see SkewTracker).
+    skew_envelope: Dict = field(default_factory=dict)
+    summaries_sent: int = 0
+    summaries_received: int = 0
+    oracle_report: Optional[Dict] = None
+
+    @property
+    def ops_per_s(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return percentile(self.latencies_us, 0.50)
+
+    @property
+    def p99_us(self) -> float:
+        return percentile(self.latencies_us, 0.99)
+
+    def per_shard_ops_per_s(self) -> Dict[int, float]:
+        if not self.duration_s:
+            return {shard: 0.0 for shard in self.per_shard_completed}
+        return {shard: completed / self.duration_s
+                for shard, completed in self.per_shard_completed.items()}
+
+    @property
+    def imbalance(self) -> float:
+        """Hottest shard's share of completed calls over the fair share
+        (1.0 = perfectly balanced; rises with the zipf exponent)."""
+        if not self.completed or not self.per_shard_completed:
+            return 0.0
+        fair = self.completed / len(self.per_shard_completed)
+        return max(self.per_shard_completed.values()) / fair
+
+    def to_dict(self) -> Dict:
+        ops = self.per_shard_ops_per_s()
+        return {
+            "mode": "sharded",
+            "shards": self.shards,
+            "shard_size": self.shard_size,
+            "concurrency_per_shard": self.concurrency,
+            "clients": self.clients,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "zipf_s": self.zipf_s,
+            "completed": self.completed,
+            "errors": self.errors,
+            "migrations": self.migrations,
+            "ops_per_s": round(self.ops_per_s, 1),
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "imbalance": round(self.imbalance, 3),
+            "per_shard": {
+                str(shard): {
+                    "completed": self.per_shard_completed.get(shard, 0),
+                    "ops_per_s": round(ops.get(shard, 0.0), 1),
+                }
+                for shard in sorted(self.per_shard_completed)
+            },
+            "skew_envelope": dict(self.skew_envelope),
+            "summaries_sent": self.summaries_sent,
+            "summaries_received": self.summaries_received,
+            "oracle": self.oracle_report,
+        }
+
+
+def zipf_identities(count: int, *, universe: int, s: float,
+                    rng) -> List[int]:
+    """Draw ``count`` client identities from a zipf(``s``) popularity
+    distribution over ``universe`` ranks (pure python — the bench path
+    must not depend on numpy).  ``s == 0`` degenerates to uniform."""
+    weights: List[float] = []
+    total = 0.0
+    for rank in range(1, universe + 1):
+        weight = 1.0 / (rank ** s) if s else 1.0
+        total += weight
+        weights.append(total)  # cumulative
+    identities = []
+    for _ in range(count):
+        point = rng.random() * total
+        low, high = 0, universe - 1
+        while low < high:
+            mid = (low + high) // 2
+            if weights[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        identities.append(low)
+    return identities
+
+
+def run_loadgen_sharded(
+    *,
+    shards: int = 4,
+    shard_size: int = 3,
+    concurrency: int = 8,
+    duration_s: float = 0.5,
+    warmup_s: float = 1.25,
+    seed: int = 0,
+    zipf_s: float = 0.0,
+    think_s: float = 0.0,
+    fast_path: bool = True,
+    max_staleness_us: int = 2_000,
+    with_oracle: bool = True,
+) -> LoadgenShardResult:
+    """Closed-loop load against ``shards`` time domains via the router.
+
+    Boots a :class:`~repro.shard.cluster.ShardedTestbed` (one CCS ring
+    per shard on a shared LAN), starts the gradient overlay, lets it
+    align the shard epochs for ``warmup_s``, then runs
+    ``shards * concurrency`` closed-loop workers for ``duration_s``
+    through a :class:`~repro.shard.router.ShardRouter`.
+
+    With ``zipf_s == 0`` every worker gets a distinct session key (the
+    ring spreads them near-uniformly); with ``zipf_s > 0`` worker
+    *routing identities* are drawn zipf-skewed from a fixed population,
+    so hot identities pile multiple workers onto one shard and the
+    per-shard ops split in the result shows the imbalance.
+
+    ``think_s > 0`` inserts a per-call think time (open-ish loop).  The
+    default closed loop measures capacity, but at very low worker counts
+    saturation makes round latency — and with it the round-commit clock
+    inflation — spiky enough to leave the steady-state hop envelope;
+    tests probing the machinery rather than capacity should think.
+    """
+    import random
+
+    from ..net.daemon import TimeApp
+    from ..shard import (
+        GradientOverlay,
+        OverlayConfig,
+        ShardedTestbed,
+        ShardRouter,
+        ShardSession,
+    )
+
+    bed = ShardedTestbed(shards=shards, shard_size=shard_size, seed=seed)
+    bed.deploy_shards(TimeApp, fast_path=fast_path,
+                      max_staleness_us=max_staleness_us)
+    overlay_config = OverlayConfig(
+        secret=f"loadgen-{seed}", warmup_s=warmup_s)
+    oracle = None
+    if with_oracle:
+        from ..chaos.oracle import InvariantOracle
+        oracle = InvariantOracle(staleness_budget_us=max_staleness_us)
+    overlay = GradientOverlay(bed, overlay_config, oracle=oracle)
+    router = ShardRouter(
+        bed, oracle=oracle,
+        oracle_gate=lambda: overlay.skew.warmed_up,
+        rate_slack_us=overlay_config.hop_bound_us)
+
+    result = LoadgenShardResult(
+        shards=shards, shard_size=shard_size, concurrency=concurrency,
+        duration_s=duration_s, warmup_s=warmup_s, zipf_s=zipf_s,
+        clients=shards * concurrency)
+
+    rng = random.Random(seed ^ 0x5ADE)
+    sessions: List[ShardSession] = []
+    if zipf_s > 0:
+        population = zipf_identities(
+            result.clients, universe=max(4, 4 * result.clients),
+            s=zipf_s, rng=rng)
+        for worker, identity in enumerate(population):
+            session = router.session(f"client-{identity}#w{worker}")
+            session.route_key = f"client-{identity}"
+            sessions.append(session)
+    else:
+        for worker in range(result.clients):
+            sessions.append(router.session(f"client-{worker}"))
+
+    bed.start()
+    overlay.start()
+    if oracle is not None:
+        oracle.attach()
+
+    # Workers run through the warmup too — group offsets only move when
+    # rounds commit, so the epoch alignment needs load to happen at all.
+    # Only calls issued after the warmup boundary are tallied.
+    measure_start = bed.sim.now + warmup_s
+    deadline = measure_start + duration_s
+
+    def worker(session: ShardSession):
+        from ..errors import RpcTimeout
+
+        while bed.sim.now < deadline:
+            start_s = bed.sim.now
+            try:
+                yield from router.call(session, timeout=duration_s + 2.0)
+            except RpcTimeout:
+                if start_s >= measure_start:
+                    result.errors += 1
+                continue
+            if start_s >= measure_start:
+                result.completed += 1
+                result.latencies_us.append(
+                    int((bed.sim.now - start_s) * 1e6))
+                shard = session.shard
+                result.per_shard_completed[shard] = (
+                    result.per_shard_completed.get(shard, 0) + 1)
+            if think_s > 0:
+                yield bed.sim.timeout(think_s)
+        return None
+
+    workers = [
+        bed.sim.process(worker(session), name=f"loadgen-shard-{index}")
+        for index, session in enumerate(sessions)
+    ]
+    bed.run(warmup_s + duration_s + 2.0)  # run past the deadline to drain
+    for proc in workers:
+        if proc.triggered and not proc.ok:
+            proc._fail_silently = True
+            raise proc.value
+
+    if oracle is not None:
+        oracle.detach()
+        oracle.finish(bed,
+                      groups=[bed.group_of(s) for s in range(shards)])
+        result.oracle_report = oracle.report()
+    result.migrations = sum(s.migrations for s in router.sessions.values())
+    result.skew_envelope = overlay.skew.envelope()
+    result.summaries_sent = overlay.summaries_sent
+    result.summaries_received = overlay.summaries_received
+    return result
+
+
+def record_shard_benchmark(path, single: LoadgenShardResult,
+                           sharded: LoadgenShardResult) -> Dict:
+    """Append one shard-scaling measurement to the benchmark trajectory.
+
+    Same document as :func:`record_benchmark` (the runs list in
+    ``BENCH_throughput.json``); a sharded run carries the single-shard
+    baseline, the aggregate scaling ratio, and the measured inter-shard
+    skew envelope.
+    """
+    path = Path(path)
+    doc: Dict = {"benchmark": "loadgen-throughput", "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict) and isinstance(
+                    existing.get("runs"), list):
+                doc = existing
+        except ValueError:
+            pass
+    run: Dict = {
+        "recorded_at": datetime.date.today().isoformat(),
+        "kind": "shard-scaling",
+        "modes": {
+            "single-shard": single.to_dict(),
+            "sharded": sharded.to_dict(),
+        },
+        "skew_envelope": dict(sharded.skew_envelope),
+    }
+    if single.ops_per_s:
+        run["scaling_vs_single_shard"] = round(
+            sharded.ops_per_s / single.ops_per_s, 2)
+    doc["runs"].append(run)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
 def _mode_label(time_source: str, coalesce: bool, fast_path: bool) -> str:
     if time_source != "cts":
         return time_source

@@ -36,8 +36,8 @@ class FakePort:
         self.sent.append((addr, envelope))
 
 
-def request(seq, conn_id=1, client="c1"):
-    return make_envelope(MsgType.REQUEST, f"client.{client}", "timesvc",
+def request(seq, conn_id=1, client="c1", group="timesvc"):
+    return make_envelope(MsgType.REQUEST, f"client.{client}", group,
                          conn_id, seq, client,
                          body=Invocation("gettimeofday", ()))
 
@@ -102,6 +102,18 @@ class TestGatewayDedup:
         gateway.handle(LiveFrame("c1", request(2, conn_id=2), 64, ADDR_A))
         assert len(runtime.endpoints["client.c1"].mcasts) == 3
         assert gateway.requests_deduplicated == 0
+
+    def test_same_seq_to_different_groups_is_not_a_retry(self):
+        # A migrating client reuses its (conn, seq) counters against its
+        # new home shard.  The operation id is keyed by the destination
+        # group too, so the second request must execute, not replay.
+        gateway, runtime, port = make_gateway()
+        gateway.handle(LiveFrame("c1", request(1, group="shard0"), 64, ADDR_A))
+        gateway.handle(LiveFrame("c1", request(1, group="shard1"), 64, ADDR_A))
+        assert gateway.requests_injected == 2
+        assert gateway.requests_deduplicated == 0
+        # Both rode the same client group endpoint: two distinct mcasts.
+        assert len(runtime.endpoints["client.c1"].mcasts) == 2
 
     def test_window_eviction_forgets_oldest(self):
         gateway, runtime, port = make_gateway()

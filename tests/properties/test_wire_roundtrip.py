@@ -23,6 +23,7 @@ from repro.net.wire import (
 )
 from repro.replication import MsgType, make_envelope
 from repro.rpc import Invocation, Result
+from repro.shard.summary import ShardSummary
 from repro.totem.messages import (
     JoinMessage,
     LostMessage,
@@ -123,6 +124,16 @@ payloads = st.one_of(
         sender=identifiers, ring_id=ring_ids,
     ),
     st.just(LostMessage()),
+    st.builds(
+        ShardSummary,
+        shard=st.integers(min_value=0, max_value=2**16),
+        group=identifiers,
+        value_us=st.integers(min_value=-(2**60), max_value=2**60),
+        offset_us=st.integers(min_value=-(2**60), max_value=2**60),
+        round_seq=seqs,
+        error_us=st.integers(min_value=0, max_value=2**40),
+        signature=st.one_of(st.just(""), identifiers),
+    ),
 )
 
 

@@ -1,0 +1,117 @@
+"""Property tests for the shard placement ring.
+
+The routing tier leans on three ring properties: *determinism* (every
+gateway computes the same owner for a key), *balance* (virtual nodes
+spread a large key population roughly evenly), and *minimal
+reassignment* (adding or removing a shard only moves the keys that
+must move — everything else keeps its owner, which is what keeps
+migrations rare and floors cheap to carry).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard import HashRing, RendezvousHash
+
+members_strategy = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=2, max_size=8,
+    unique=True)
+
+
+def spread(ring, keys):
+    counts = Counter(ring.owner(key) for key in keys)
+    for member in ring.members:
+        counts.setdefault(member, 0)
+    return counts
+
+
+class TestDeterminism:
+    @given(members=members_strategy, seed=st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_two_instances_agree_on_every_key(self, members, seed):
+        a = HashRing(members)
+        b = HashRing(list(reversed(members)))  # insertion order irrelevant
+        keys = [f"k{seed}-{i}" for i in range(200)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    @given(members=members_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_rendezvous_agrees_with_itself(self, members):
+        a = RendezvousHash(members)
+        b = RendezvousHash(list(reversed(members)))
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+
+class TestBalance:
+    def test_10k_keys_balance_within_ratio(self):
+        # The acceptance bar from the issue: with the default virtual
+        # node count, 10k uniform keys land max/min <= ~2x.
+        for shards in (3, 4, 8):
+            ring = HashRing(list(range(shards)))
+            counts = spread(ring, (f"client-{i}" for i in range(10_000)))
+            assert min(counts.values()) > 0
+            ratio = max(counts.values()) / min(counts.values())
+            assert ratio <= 2.2, (shards, counts, ratio)
+
+    def test_rendezvous_balance(self):
+        ring = RendezvousHash(list(range(5)))
+        counts = spread(ring, (f"client-{i}" for i in range(10_000)))
+        assert min(counts.values()) > 0
+        assert max(counts.values()) / min(counts.values()) <= 1.5
+
+
+class TestMinimalReassignment:
+    @given(members=members_strategy, new=st.integers(64, 127))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_only_moves_keys_to_the_new_member(self, members, new):
+        before = HashRing(members)
+        keys = [f"client-{i}" for i in range(500)]
+        owners = {k: before.owner(k) for k in keys}
+        before.add(new)
+        for key in keys:
+            owner = before.owner(key)
+            assert owner == owners[key] or owner == new
+
+    @given(members=members_strategy, index=st.integers(0, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_removing_only_moves_the_removed_members_keys(
+            self, members, index):
+        victim = members[index % len(members)]
+        ring = HashRing(members)
+        keys = [f"client-{i}" for i in range(500)]
+        owners = {k: ring.owner(k) for k in keys}
+        ring.remove(victim)
+        for key in keys:
+            if owners[key] != victim:
+                assert ring.owner(key) == owners[key]
+
+    def test_add_then_remove_restores_assignment(self):
+        ring = HashRing([0, 1, 2])
+        keys = [f"client-{i}" for i in range(500)]
+        owners = {k: ring.owner(k) for k in keys}
+        ring.add(3)
+        ring.remove(3)
+        assert {k: ring.owner(k) for k in keys} == owners
+
+
+class TestNeighbors:
+    def test_singleton_has_no_neighbors(self):
+        assert HashRing([7]).neighbors(7) == ()
+
+    def test_pair_has_one_neighbor(self):
+        ring = HashRing([0, 1])
+        assert ring.neighbors(0) == (1,)
+        assert ring.neighbors(1) == (0,)
+
+    def test_ring_neighbors_are_symmetric(self):
+        ring = HashRing(list(range(5)))
+        for member in range(5):
+            for neighbor in ring.neighbors(member):
+                assert member in ring.neighbors(neighbor)
+
+    def test_order_is_a_permutation_of_members(self):
+        ring = HashRing(list(range(6)))
+        assert sorted(ring.order()) == list(range(6))
