@@ -86,10 +86,18 @@ class InvariantOracle:
 
     def __init__(self, *, staleness_budget_us: int = 2_000,
                  drift_ppm: float = 200.0,
+                 max_transient_lag_us: int = 1_000_000,
                  flight_recorder=None,
                  dump_dir: Optional[str] = None):
         self.staleness_budget_us = staleness_budget_us
         self.drift_ppm = drift_ppm
+        #: Staleness debt (lag behind the anchor mapping) the service
+        #: may carry *transiently* — reconfiguration stalls rounds, and
+        #: a consistency-first service answers queued operations with
+        #: agreed-but-stale time until the backlog drains.  Debt beyond
+        #: this flags immediately; smaller debt must still be repaid by
+        #: the end of the run (checked in :meth:`finish`).
+        self.max_transient_lag_us = max_transient_lag_us
         #: When both are set, every violation dumps the recorder's window
         #: to ``dump_dir`` and carries the artifact path.
         self.flight_recorder = flight_recorder
@@ -120,6 +128,29 @@ class InvariantOracle:
         self._corrupted: Dict[str, Tuple[int, int]] = {}
         #: client -> shard that served its last reply (sharded runs).
         self._shard_of: Dict[str, Any] = {}
+        #: shard (None = whole group) -> (best observed value-to-wall
+        #: offset in us, wall_s when it was set).  Service time may
+        #: *catch back up* to this mapping after lagging through an
+        #: outage, but may never run ahead of it.
+        self._offset_anchor: Dict[Any, Tuple[float, float]] = {}
+        #: fast advances exempted as catch-up to the anchor (counted,
+        #: not judged).
+        self.catchups_allowed = 0
+        #: fast advances beyond the anchor tolerated because a
+        #: reconfiguration was on record (bounded by the transient lag).
+        self.overshoots_tolerated = 0
+        #: shard -> (subject, worst debt us, wall_s, transcript) for a
+        #: transient lag that has not yet been repaid.
+        self._stall_debt: Dict[Any, Tuple[str, float, float, list]] = {}
+        self.stalls_tolerated = 0
+        #: Reconfigurations (join/drain/restart) the harness told us
+        #: about.  Each membership change stalls rounds, and the lost
+        #: time is never recouped — group time continues from the
+        #: agreed value, so the value-to-wall mapping legitimately
+        #: shifts down by up to the stall length.  With reconfigs on
+        #: record, open debt below the transient bound is accepted at
+        #: :meth:`finish`; without any, it flags.
+        self.reconfigs_noted = 0
         self.migrations_checked = 0
         self.shard_summaries_checked = 0
         self.shard_resyncs = 0
@@ -180,6 +211,7 @@ class InvariantOracle:
         migrated = (shard is not None and prev_shard is not None
                     and shard != prev_shard)
         if prev is None:
+            self._raise_anchor(shard, value_us, wall_s, rtt_s)
             return
         prev_value, prev_wall, prev_rtt = prev
         if migrated:
@@ -191,6 +223,7 @@ class InvariantOracle:
                            f"session floor must keep values strictly "
                            f"increasing across shards)",
                            list(log))
+            self._raise_anchor(shard, value_us, wall_s, rtt_s)
             return  # rate baseline resets across shards
         if value_us <= prev_value:
             self._flag("monotonicity", client_id,
@@ -211,12 +244,125 @@ class InvariantOracle:
                     + (rtt_s + prev_rtt) * 1e6
                     + abs(dw_us) * self.drift_ppm * 1e-6
                     + 1_000.0)  # floor for scheduling noise
-        if dv_us > dw_us + slack_us or dv_us < dw_us - slack_us:
+        if dv_us > dw_us + slack_us:
+            # A fast advance that merely restores the best previously
+            # observed value-to-wall mapping is the service *catching
+            # up* after lagging through an outage (membership churn
+            # stalls rounds, so served values fall behind wall, then
+            # the first post-reformation round snaps time back to
+            # real).  Monotone and converging-to-true-time is the
+            # contract; only running ahead of the known mapping is a
+            # violation.
+            if self._is_catchup(shard, value_us, wall_s, rate_slack_us):
+                self.catchups_allowed += 1
+            elif self._reconfig_overshoot_ok(shard, value_us, wall_s,
+                                             rate_slack_us):
+                self.overshoots_tolerated += 1
+            else:
+                self._flag("staleness", client_id,
+                           f"values advanced {dv_us:.0f} us over "
+                           f"{dw_us:.0f} us of wall time "
+                           f"(allowed slack {slack_us:.0f} us)",
+                           list(log))
+        elif dv_us < dw_us - slack_us:
+            # Falling behind is staleness *debt*: tolerable while a
+            # reconfiguration drains its backlog of agreed-but-stale
+            # rounds, a violation if it is deep or never repaid.
+            self._note_stall(shard, client_id, value_us, wall_s, rtt_s,
+                             dv_us, dw_us, slack_us, list(log))
+        self._clear_repaid_stall(shard, value_us, wall_s, rtt_s,
+                                 rate_slack_us)
+        self._raise_anchor(shard, value_us, wall_s, rtt_s)
+
+    def _raise_anchor(self, shard, value_us: int, wall_s: float,
+                      rtt_s: float) -> None:
+        # A reply *proves* the mapping reached value-minus-receive-time
+        # (the value was generated no later than receipt).  Anything
+        # more generous (crediting the call's in-flight window) would
+        # let one long-parked call overstate the anchor by its whole
+        # RTT and manufacture unrepayable debt; the uncertainty is kept
+        # with the anchor and spent on the *claims* side instead.
+        offset_us = value_us - wall_s * 1e6
+        anchor = self._offset_anchor.get(shard)
+        if anchor is None or offset_us > anchor[0]:
+            self._offset_anchor[shard] = (offset_us, wall_s, rtt_s)
+
+    def _anchor_allowance_us(self, anchor, wall_s: float,
+                             rate_slack_us: float) -> float:
+        anchor_offset_us, anchor_wall_s, anchor_rtt_s = anchor
+        return (self.staleness_budget_us
+                + rate_slack_us
+                + anchor_rtt_s * 1e6  # the proving reply's own window
+                + abs(wall_s - anchor_wall_s) * self.drift_ppm
+                + 1_000.0)
+
+    def _is_catchup(self, shard, value_us: int, wall_s: float,
+                    rate_slack_us: float) -> bool:
+        anchor = self._offset_anchor.get(shard)
+        if anchor is None:
+            return False
+        # Strictest mapping this reply can claim: generated no later
+        # than the receive instant.
+        offset_us = value_us - wall_s * 1e6
+        allowance_us = self._anchor_allowance_us(anchor, wall_s,
+                                                 rate_slack_us)
+        return offset_us <= anchor[0] + allowance_us
+
+    def _reconfig_overshoot_ok(self, shard, value_us: int, wall_s: float,
+                               rate_slack_us: float) -> bool:
+        # A reformation re-anchors group time to the new ring's winning
+        # view, which can land *above* any previously proven mapping: a
+        # restarted member's round repays stalls the shrunk ring had
+        # already written off.  With a reconfiguration on record the
+        # overshoot is tolerated up to the transient bound — the same
+        # budget the stall side gets; past it the jump is a frozen
+        # clock's mirror image, time from the future.
+        if not self.reconfigs_noted:
+            return False
+        anchor = self._offset_anchor.get(shard)
+        if anchor is None:
+            return False
+        offset_us = value_us - wall_s * 1e6
+        allowance_us = self._anchor_allowance_us(anchor, wall_s,
+                                                 rate_slack_us)
+        return (offset_us
+                <= anchor[0] + allowance_us + self.max_transient_lag_us)
+
+    def _note_stall(self, shard, client_id: str, value_us: int,
+                    wall_s: float, rtt_s: float, dv_us: float,
+                    dw_us: float, slack_us: float, log: list) -> None:
+        anchor = self._offset_anchor.get(shard)
+        # Most generous interpretation: the value was generated at the
+        # call's send instant, so the lag is smaller by the RTT.
+        debt_us = (anchor[0] - (value_us - (wall_s - rtt_s) * 1e6)
+                   if anchor is not None else float("inf"))
+        if debt_us > self.max_transient_lag_us:
             self._flag("staleness", client_id,
                        f"values advanced {dv_us:.0f} us over "
                        f"{dw_us:.0f} us of wall time "
-                       f"(allowed slack {slack_us:.0f} us)",
-                       list(log))
+                       f"(allowed slack {slack_us:.0f} us; "
+                       f"lag behind the observed mapping "
+                       f"exceeds the {self.max_transient_lag_us} us "
+                       f"transient bound)",
+                       log)
+            return
+        self.stalls_tolerated += 1
+        open_debt = self._stall_debt.get(shard)
+        if open_debt is None or debt_us > open_debt[1]:
+            self._stall_debt[shard] = (client_id, debt_us, wall_s, log)
+
+    def _clear_repaid_stall(self, shard, value_us: int, wall_s: float,
+                            rtt_s: float, rate_slack_us: float) -> None:
+        if shard not in self._stall_debt:
+            return
+        anchor = self._offset_anchor.get(shard)
+        if anchor is None:
+            return
+        offset_us = value_us - (wall_s - rtt_s) * 1e6
+        tolerance_us = self._anchor_allowance_us(anchor, wall_s,
+                                                 rate_slack_us)
+        if offset_us >= anchor[0] - tolerance_us:
+            del self._stall_debt[shard]  # the service caught back up
 
     def observe_shard_summary(self, src_shard, dst_shard, delta_us: int, *,
                               bound_us: int, error_us: int = 0,
@@ -244,6 +390,13 @@ class InvariantOracle:
         """Record that ``node_id`` was recovered (its post-recovery rounds
         are checked by :meth:`finish`)."""
         self._recovered[node_id] = self._rounds_by_node.get(node_id, 0)
+
+    def note_reconfig(self, node_id: Optional[str] = None) -> None:
+        """Record a membership change (join/drain/restart).  The stall
+        it causes loses group time permanently, so staleness debt open
+        at :meth:`finish` is accepted (up to the transient bound) once
+        any reconfiguration is on record."""
+        self.reconfigs_noted += 1
 
     def mark_faulty(self, node_id: str) -> None:
         """Declare ``node_id`` Byzantine for the whole run: none of its
@@ -333,6 +486,22 @@ class InvariantOracle:
                                 f"({offset_us} != {group_us - physical_us})",
                                 list(state.history[-8:]))
                             break
+        if not self.reconfigs_noted and not self._recovered:
+            # Membership changes (and crash recoveries) stall rounds
+            # and permanently shift the mapping down by the stall; with
+            # none on record, lag that was never repaid is a frozen or
+            # slow clock, not reconfiguration turbulence.
+            for shard, (subject, debt_us, wall_s, log) in sorted(
+                    self._stall_debt.items(), key=lambda kv: str(kv[0])):
+                where = f" (shard {shard})" if shard is not None else ""
+                self._flag(
+                    "staleness", subject,
+                    f"served values fell {debt_us:.0f} us behind the "
+                    f"observed value-to-wall mapping{where} and never "
+                    f"caught back up — with no reconfiguration or "
+                    f"recovery on record the lag cannot be membership "
+                    f"turbulence",
+                    log)
         for node_id, rounds_before in self._recovered.items():
             if self._rounds_by_node.get(node_id, 0) <= rounds_before:
                 self._flag(
@@ -393,6 +562,10 @@ class InvariantOracle:
             "rounds_checked": self.rounds_checked,
             "clients": len(self._replies),
             "migrations_checked": self.migrations_checked,
+            "catchups_allowed": self.catchups_allowed,
+            "overshoots_tolerated": self.overshoots_tolerated,
+            "stalls_tolerated": self.stalls_tolerated,
+            "reconfigs_noted": self.reconfigs_noted,
             "shard_summaries_checked": self.shard_summaries_checked,
             "shard_resyncs": self.shard_resyncs,
             "faulty": sorted(self._faulty),

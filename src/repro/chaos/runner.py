@@ -33,6 +33,7 @@ import time
 from typing import Dict, Optional
 
 from .. import trace
+from ..control.plane import ControlPlane
 from ..errors import RpcTimeout
 from ..net.client import LiveCaller
 from ..net.daemon import ClientGateway, TimeApp
@@ -164,6 +165,31 @@ def run_chaos(
             if event.kind in ("lie", "equivocate"):
                 oracle.mark_faulty(event.target[0])
 
+        # Control plane behind the scenario's drain/join events.  A join
+        # that first recovers a crashed node rebuilds its runtime, so the
+        # gateway is re-interposed and the oracle told, exactly as for a
+        # scripted recover.
+        def _node_ready(node_id: str) -> None:
+            oracle.note_recovery(node_id)
+            _install_gateway(bed, node_id, gateways)
+
+        plane = ControlPlane(bed, group=GROUP, app_factory=TimeApp,
+                             on_node_ready=_node_ready,
+                             style="active", time_source="cts",
+                             fast_path=fast_path,
+                             max_staleness_us=max_staleness_us,
+                             byzantine=byzantine)
+        def _drain(node_id: str) -> bool:
+            oracle.note_reconfig(node_id)
+            return plane.drain_async(node_id)
+
+        def _join(node_id: str) -> bool:
+            oracle.note_reconfig(node_id)
+            return plane.join_async(node_id)
+
+        bed.control_drain = _drain
+        bed.control_join = _join
+
         plan.arm(bed)
         # The daemon-restart half of every recover event: re-add the
         # replica (state transfer) and re-interpose the gateway on the
@@ -258,6 +284,7 @@ def run_chaos(
                 "replies_replayed": sum(
                     g.replies_replayed for g in gateways),
             },
+            "reconfig": list(plane.log),
             "oracle": oracle.report(),
         }
         verdict["ok"] = (oracle.ok

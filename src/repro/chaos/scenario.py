@@ -25,7 +25,10 @@ builders: ``crash``, ``recover``, ``isolate`` (node id), ``heal``
 ``reorder`` also takes ``window``), ``delay`` (seconds, optional
 ``jitter``/``src``/``dst``), ``lie`` (node id plus ``bias`` in
 microseconds; 0 stops it), ``equivocate`` (node id plus ``spread`` in
-microseconds; 0 stops it), ``corrupt-state`` (node id).  A top-level
+microseconds; 0 stops it), ``corrupt-state`` (node id), and the
+control-plane reconfigurations ``drain`` / ``join`` (node id — graceful
+replica retirement and re-admission through the total order).  A
+top-level
 ``auth: true`` turns on the authenticated-Byzantine mode: ring frames
 carry HMACs and the time service arms its winner sanity filter and
 self-stabilization path.
@@ -223,7 +226,7 @@ def _parse_mapping(lines, index: int, indent: int):
 #: Event keys that identify the fault kind within an event mapping.
 _KIND_KEYS = ("crash", "recover", "isolate", "heal", "partition", "drop",
               "delay", "duplicate", "reorder", "lie", "equivocate",
-              "corrupt-state")
+              "corrupt-state", "drain", "join")
 
 
 @dataclass
@@ -419,6 +422,10 @@ def compile_plan(scenario: ChaosScenario) -> FaultPlan:
                                 spread_us=int(event.get("spread", 0)), at=at)
             elif "corrupt-state" in event:
                 plan.corrupt_state(str(event["corrupt-state"]), at=at)
+            elif "drain" in event:
+                plan.drain(str(event["drain"]), at=at)
+            elif "join" in event:
+                plan.join(str(event["join"]), at=at)
         except ConfigurationError as exc:
             raise ConfigurationError(
                 f"{scenario.name}: event #{i}: {exc}") from exc

@@ -66,12 +66,34 @@ class StateTransferError(ReplicationError):
     """State transfer to a joining/recovering replica failed."""
 
 
+class ReconfigurationError(ReplicationError):
+    """A control-plane reconfiguration (join/drain/rolling restart)
+    could not be carried out safely — e.g. draining the last serving
+    replica, or a joiner that never caught up within its deadline."""
+
+
 class RpcError(ReproError):
     """A remote method invocation failed."""
 
 
 class RpcTimeout(RpcError):
     """A remote method invocation did not complete within its deadline."""
+
+
+class OverloadedError(RpcError):
+    """The gateway shed the request before it entered the total order.
+
+    Raised client-side when a daemon answers with the typed
+    ``Overloaded`` result instead of queueing the operation: the
+    admission controller judged that accepting it would push queueing
+    delay past the point where the reply could still be useful.
+    ``retry_after_s`` is the server's backoff hint — the earliest time
+    at which retrying has a realistic chance of being admitted.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 0.1):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 class TimeServiceError(ReproError):

@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import random
 import socket
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -101,6 +102,10 @@ class _Breaker:
     failures: int = 0
     open_until: float = 0.0
     probing: bool = field(default=False, repr=False)
+    #: When a held probe token lapses (the claiming call may have hit
+    #: its deadline before actually sending the probe; without an expiry
+    #: the token would be orphaned and the server never probed again).
+    probe_expires: float = field(default=0.0, repr=False)
 
 
 class LiveCaller:
@@ -136,6 +141,10 @@ class LiveCaller:
         self.stats = CallerStats()
         self._breakers: Dict[Address, _Breaker] = {
             address: _Breaker() for address in self.servers}
+        # Breaker state is shared when callers issue calls from several
+        # threads (the open-loop loadgen does); the lock keeps the
+        # half-open probe token single-holder.
+        self._breaker_lock = threading.Lock()
         # Deterministic jitter so chaos runs with a fixed client id replay.
         self._rng = random.Random(f"caller|{self.client_id}")
 
@@ -260,34 +269,48 @@ class LiveCaller:
 
     def _sweep_order(self, now: float, *,
                      ignore_breakers: bool = False) -> List[Address]:
-        """Servers to try this sweep, open breakers skipped (a breaker
-        past its cooldown admits one half-open probe)."""
+        """Servers to try this sweep, open breakers skipped.
+
+        A breaker past its cooldown admits exactly **one** half-open
+        probe: the first sweep to arrive takes the probe token
+        (``probing = True``) and later sweeps — from this thread or a
+        concurrent one — keep skipping until that probe resolves via
+        :meth:`_record_failure` / :meth:`_record_success`.  Without the
+        token, every caller thread that swept during the half-open
+        window would hammer a still-recovering server with its own
+        probe, defeating the point of the breaker.
+        """
         order: List[Address] = []
-        for address in self.servers:
-            breaker = self._breakers[address]
-            if ignore_breakers or breaker.failures < self.BREAKER_THRESHOLD:
-                order.append(address)
-            elif now >= breaker.open_until:
-                breaker.probing = True
-                order.append(address)
-            else:
-                self.stats.breaker_skips += 1
-                if obs.REGISTRY.enabled:
-                    M_CLIENT_BREAKER_OPEN.inc(client=self.client_id)
+        with self._breaker_lock:
+            for address in self.servers:
+                breaker = self._breakers[address]
+                if ignore_breakers or breaker.failures < self.BREAKER_THRESHOLD:
+                    order.append(address)
+                elif now >= breaker.open_until and (
+                        not breaker.probing or now >= breaker.probe_expires):
+                    breaker.probing = True
+                    breaker.probe_expires = now + self.BREAKER_COOLDOWN
+                    order.append(address)
+                else:
+                    self.stats.breaker_skips += 1
+                    if obs.REGISTRY.enabled:
+                        M_CLIENT_BREAKER_OPEN.inc(client=self.client_id)
         return order
 
     def _record_failure(self, address: Address) -> None:
-        breaker = self._breakers[address]
-        breaker.failures += 1
-        if breaker.failures >= self.BREAKER_THRESHOLD:
-            breaker.open_until = time.monotonic() + self.BREAKER_COOLDOWN
-        breaker.probing = False
+        with self._breaker_lock:
+            breaker = self._breakers[address]
+            breaker.failures += 1
+            if breaker.failures >= self.BREAKER_THRESHOLD:
+                breaker.open_until = time.monotonic() + self.BREAKER_COOLDOWN
+            breaker.probing = False
 
     def _record_success(self, address: Address) -> None:
-        breaker = self._breakers[address]
-        breaker.failures = 0
-        breaker.open_until = 0.0
-        breaker.probing = False
+        with self._breaker_lock:
+            breaker = self._breakers[address]
+            breaker.failures = 0
+            breaker.open_until = 0.0
+            breaker.probing = False
 
     @staticmethod
     def _sleep(duration: float) -> None:

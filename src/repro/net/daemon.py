@@ -28,17 +28,25 @@ what lets ``repro call`` verify the replies are identical).
 from __future__ import annotations
 
 import sys
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import obs, trace
+from ..control.admission import (
+    OVERLOADED,
+    AdmissionConfig,
+    AdmissionController,
+    overloaded_value,
+)
 from ..obs import flight
 from ..obs.crossnode import TraceShardWriter
 from ..obs.http import MetricsHttpServer
-from ..replication.envelope import Envelope
+from ..replication.envelope import Envelope, MsgType, make_envelope
 from ..replication.group import GroupEndpoint, GroupRuntime
 from ..replication.replica import Application
+from ..rpc.messages import Result
 from ..testbed import STYLES, TestbedBase
 from ..totem import TotemConfig, TotemProcessor
 from .kernel import LiveKernel
@@ -113,6 +121,11 @@ class DaemonConfig:
     #: time service arms its winner sanity filter (None = off).  All
     #: peers must agree — an unauthenticated peer's frames are rejected.
     auth_key: Optional[str] = None
+    #: Shed-before-collapse admission control at the gateway (bounded
+    #: queues, fair dequeue, typed Overloaded replies).  On by default;
+    #: ``admission_config`` overrides the knobs (see docs/operations.md).
+    admission: bool = True
+    admission_config: Optional[AdmissionConfig] = None
 
 
 M_GW_REQUESTS = obs.REGISTRY.counter(
@@ -123,6 +136,9 @@ M_GW_DUPLICATES = obs.REGISTRY.counter(
 M_GW_REPLAYED = obs.REGISTRY.counter(
     "gateway_replies_replayed_total",
     "recorded replies re-sent to a retrying client")
+M_GW_DEDUP_EVICTIONS = obs.REGISTRY.counter(
+    "gateway_dedup_evictions_total",
+    "idempotency-window entries evicted, by reason (window|ttl)")
 
 #: An operation id as seen by the gateway.  The *service* group is part
 #: of the identity: a sharded deployment fronts many groups, and the
@@ -142,31 +158,55 @@ class ClientGateway:
     gateway therefore keeps a bounded idempotency window: a repeated
     operation id refreshes the reply route and replays the recorded
     replies instead of re-entering the total order.
+
+    The window is bounded **two ways**: by entry count (a zipf-heavy
+    client population with millions of one-shot identities would
+    otherwise grow it without limit) and by age (an entry older than
+    ``DEDUP_TTL_S`` no longer protects anything — the client's own
+    retry deadline has long expired — so holding it only wastes memory).
+    Oldest entries are evicted first and every eviction is counted.
     """
 
     #: Operation ids remembered for deduplication (oldest evicted first).
     DEDUP_WINDOW = 512
+    #: Seconds an operation id stays in the window before it expires.
+    #: Far beyond any client's retry deadline (LiveCaller defaults 2 s).
+    DEDUP_TTL_S = 60.0
+    #: Reply routes remembered (client group -> last socket address).
+    ROUTES_CAP = 8192
 
     def __init__(self, runtime: GroupRuntime, port, *,
-                 node_id: str = "?") -> None:
+                 node_id: str = "?", clock=None,
+                 admission: Optional[AdmissionController] = None) -> None:
         self.runtime = runtime
         self.port = port
         self.node_id = node_id
-        #: client group -> last known socket address.
-        self.routes: Dict[str, Address] = {}
+        #: Shed-before-collapse controller (None = admit everything).
+        self.admission = admission
+        #: client group -> last known socket address (LRU-bounded).
+        self.routes: "OrderedDict[str, Address]" = OrderedDict()
         self._endpoints: Dict[str, GroupEndpoint] = {}
         #: operation id -> replies forwarded so far (replayed on retry).
         self._seen: "OrderedDict[_OpKey, List[Envelope]]" = OrderedDict()
+        #: operation id -> clock reading at first sight (drives the TTL).
+        self._seen_at: Dict[_OpKey, float] = {}
+        sim = getattr(runtime, "sim", None)
+        self._clock = clock or (
+            (lambda: sim.now) if sim is not None else time.monotonic)
         self.requests_injected = 0
         self.requests_deduplicated = 0
+        self.requests_shed = 0
         self.replies_forwarded = 0
         self.replies_replayed = 0
+        self.dedup_evictions = 0
 
     def handle(self, frame: LiveFrame) -> None:
         envelope: Envelope = frame.payload
         header = envelope.header
         client_group = header.src_grp
-        self.routes[client_group] = frame.addr
+        self._record_route(client_group, frame.addr)
+        now = self._clock()
+        self._expire_seen(now)
         key: _OpKey = (header.dst_grp, client_group,
                        header.conn_id, header.msg_seq_num)
         if frame.trace is not None:
@@ -183,8 +223,11 @@ class ClientGateway:
         if recorded is not None:
             # A retry of an operation already in (or through) the order:
             # do not execute it again — replay what the group already
-            # answered to the refreshed route.
+            # answered to the refreshed route.  The retry also refreshes
+            # the entry's age: the window stays last-touch ordered, so
+            # TTL expiry below can pop strictly from the front.
             self._seen.move_to_end(key)
+            self._seen_at[key] = now
             self.requests_deduplicated += 1
             if obs.REGISTRY.enabled:
                 M_GW_DUPLICATES.inc(node=self.node_id)
@@ -200,17 +243,67 @@ class ClientGateway:
                     M_GW_REPLAYED.inc(node=self.node_id)
             return
         self._seen[key] = []
+        self._seen_at[key] = now
         while len(self._seen) > self.DEDUP_WINDOW:
-            self._seen.popitem(last=False)
+            self._evict_oldest("window")
         if frame.trace is not None and trace.TRACER.enabled:
             trace.emit("op.gateway", self.node_id,
                        trace=frame.trace.trace_id, op_group=client_group,
                        conn=header.conn_id, seq=header.msg_seq_num,
                        dedup=False, t=self.runtime.sim.now)
+        if self.admission is None:
+            self._dispatch(client_group, envelope)
+        else:
+            self.admission.submit(
+                client_group, key,
+                lambda: self._dispatch(client_group, envelope),
+                lambda retry_after_s: self._shed(
+                    key, client_group, frame.addr, header, retry_after_s))
+
+    def _dispatch(self, client_group: str, envelope: Envelope) -> None:
         self._endpoint_for(client_group).mcast(envelope)
         self.requests_injected += 1
         if obs.REGISTRY.enabled:
             M_GW_REQUESTS.inc(node=self.node_id)
+
+    def _shed(self, key: _OpKey, client_group: str, addr: Address,
+              header, retry_after_s: float) -> None:
+        """Answer ``Overloaded`` instead of entering the order.
+
+        The operation never executed, so it must also leave the
+        idempotency window — the client's *retry* (after backing off)
+        is a fresh admission attempt, not a replay of nothing.
+        """
+        self._seen.pop(key, None)
+        self._seen_at.pop(key, None)
+        reply = make_envelope(
+            MsgType.REPLY, header.dst_grp, header.src_grp,
+            header.conn_id, header.msg_seq_num, self.node_id,
+            body=Result(value=overloaded_value(retry_after_s),
+                        error=OVERLOADED))
+        self.port.sendto(addr, reply)
+        self.requests_shed += 1
+
+    def _record_route(self, client_group: str, addr: Address) -> None:
+        self.routes[client_group] = addr
+        self.routes.move_to_end(client_group)
+        while len(self.routes) > self.ROUTES_CAP:
+            self.routes.popitem(last=False)
+
+    def _expire_seen(self, now: float) -> None:
+        horizon = now - self.DEDUP_TTL_S
+        while self._seen:
+            oldest = next(iter(self._seen))
+            if self._seen_at[oldest] > horizon:
+                break
+            self._evict_oldest("ttl")
+
+    def _evict_oldest(self, reason: str) -> None:
+        key, _ = self._seen.popitem(last=False)
+        self._seen_at.pop(key, None)
+        self.dedup_evictions += 1
+        if obs.REGISTRY.enabled:
+            M_GW_DEDUP_EVICTIONS.inc(node=self.node_id, reason=reason)
 
     def _endpoint_for(self, client_group: str) -> GroupEndpoint:
         endpoint = self._endpoints.get(client_group)
@@ -243,6 +336,11 @@ class ClientGateway:
         recorded = self._seen.get(key)
         if recorded is not None:
             recorded.append(envelope)
+        if self.admission is not None:
+            # First reply for the op frees its admission slot and pumps
+            # the bounded queues (idempotent for the later replicas'
+            # replies to the same op).
+            self.admission.complete(key)
 
 
 class NodeDaemon:
@@ -290,8 +388,14 @@ class NodeDaemon:
         # client traffic (ring peers always wrap envelopes in Totem
         # regular messages); everything else is ring traffic.
         totem_receiver = self.node._receiver
+        admission = None
+        if config.admission:
+            admission = AdmissionController(
+                config.admission_config, node_id=config.node_id,
+                clock=lambda: self.kernel.now)
         self.gateway = ClientGateway(self.runtime, self.node.iface,
-                                     node_id=config.node_id)
+                                     node_id=config.node_id,
+                                     admission=admission)
 
         def dispatch(frame: LiveFrame) -> None:
             if isinstance(frame.payload, Envelope):

@@ -40,7 +40,7 @@ class FaultEvent:
     """One scheduled fault action."""
 
     at_s: float
-    kind: str       # crash|recover|partition|heal|call|drop|delay|duplicate|reorder|isolate|lie|equivocate|corrupt-state
+    kind: str       # crash|recover|partition|heal|call|drop|delay|duplicate|reorder|isolate|lie|equivocate|corrupt-state|drain|join
     target: Tuple = ()
 
     def __str__(self) -> str:
@@ -99,6 +99,22 @@ class FaultPlan:
     def call(self, fn: Callable[[], None], *, at: float) -> "FaultPlan":
         """Run an arbitrary callback at ``at`` (custom faults)."""
         return self._add(FaultEvent(at, "call", (fn,)))
+
+    # Control-plane reconfigurations (need ``control_drain`` /
+    # ``control_join`` hooks on the bed — bound by the chaos runner to a
+    # :class:`~repro.control.plane.ControlPlane`).  Unlike crash, these
+    # are *graceful*: a drain leaves the group through the total order
+    # and a join re-admits via state transfer.  Both are no-ops when the
+    # hook judges them unsafe (draining the last replica, joining a node
+    # that already serves), so randomized interleavings stay valid.
+
+    def drain(self, node_id: str, *, at: float) -> "FaultPlan":
+        """Gracefully retire ``node_id``'s replica at ``at``."""
+        return self._add(FaultEvent(at, "drain", (node_id,)))
+
+    def join(self, node_id: str, *, at: float) -> "FaultPlan":
+        """Admit (or re-admit) a replica on ``node_id`` at ``at``."""
+        return self._add(FaultEvent(at, "join", (node_id,)))
 
     # Live-only wire impairments (need a ChaosTransport on the bed).
 
@@ -234,8 +250,14 @@ class FaultPlan:
                     f"fault event {event} needs a testbed with a "
                     f"corrupt_state hook"
                 )
+            if event.kind in ("drain", "join") and not hasattr(
+                    bed, f"control_{event.kind}"):
+                raise ConfigurationError(
+                    f"fault event {event} needs a control plane; bind "
+                    f"bed.control_drain/control_join before arming"
+                )
             if event.kind in ("crash", "recover", "isolate", "lie",
-                              "equivocate", "corrupt-state"):
+                              "equivocate", "corrupt-state", "drain", "join"):
                 node = event.target[0]
                 if node not in known:
                     raise ConfigurationError(
@@ -256,6 +278,15 @@ class FaultPlan:
                             f"is not crashed at that point of the plan"
                         )
                     crashed.discard(node)
+                elif event.kind == "join":
+                    # A join of a crashed node recovers it first; a join
+                    # of a serving node is a safe no-op.
+                    crashed.discard(node)
+                elif event.kind == "drain":
+                    # Draining a crashed (or non-serving, or last) node
+                    # is a guarded no-op — randomized interleavings stay
+                    # valid whatever state the group is in.
+                    pass
                 elif node in crashed:
                     raise ConfigurationError(
                         f"fault event {event} targets {node!r}, which is "
@@ -324,6 +355,10 @@ class FaultPlan:
             chaos.set_equivocate(node, spread_us)
         elif event.kind == "corrupt-state":
             bed.corrupt_state(event.target[0])
+        elif event.kind == "drain":
+            bed.control_drain(event.target[0])
+        elif event.kind == "join":
+            bed.control_join(event.target[0])
         elif event.kind == "call":
             event.target[0]()
         self.injected.append(event)

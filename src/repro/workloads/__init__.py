@@ -25,6 +25,13 @@ from .loadgen import (
     run_loadgen_sharded,
     zipf_identities,
 )
+from .openloop import (
+    OpenLoopInjector,
+    OpenLoopResult,
+    calibrate_capacity,
+    record_overload_benchmark,
+    run_overload_suite,
+)
 from .recovery import RecoveryClockApp, RecoveryResult, run_recovery_workload
 from .throughput import (
     ThroughputApp,
@@ -47,6 +54,8 @@ __all__ = [
     "LatencyRunResult",
     "LoadgenResult",
     "LoadgenShardResult",
+    "OpenLoopInjector",
+    "OpenLoopResult",
     "PAPER_CPU_PROFILE",
     "RecoveryClockApp",
     "RecoveryResult",
@@ -56,11 +65,14 @@ __all__ = [
     "ThroughputApp",
     "ThroughputPoint",
     "TimeServerApp",
+    "calibrate_capacity",
     "failover_comparison",
     "run_failover_workload",
     "percentile",
     "record_benchmark",
+    "record_overload_benchmark",
     "record_shard_benchmark",
+    "run_overload_suite",
     "run_latency_workload",
     "run_loadgen",
     "run_loadgen_chaos",

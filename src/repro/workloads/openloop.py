@@ -1,0 +1,456 @@
+"""Open-loop overload generation against admission-controlled gateways.
+
+The closed-loop generator (:mod:`repro.workloads.loadgen`) cannot
+overload the service: its in-flight population is pinned at the worker
+count, so when the service slows down the offered rate falls with it.
+Real client populations do not behave that way — arrivals keep coming
+whether or not earlier requests completed.  This module drives that
+regime: a Poisson arrival process at a configured rate, client
+identities drawn zipf-skewed from a fixed population (a few hot
+identities, a long cool tail), fired at live admission-controlled
+gateways over real UDP.
+
+What it measures is the shed-before-collapse contract:
+
+* **goodput** — served replies per second — should track offered load
+  up to capacity and *hold near capacity* beyond it;
+* beyond capacity the gateway answers the excess with typed
+  ``Overloaded`` + retry-after (**shed rate** rises with overload);
+* the latency of *served* requests stays bounded (the admission queue
+  is short by construction), instead of growing with the backlog.
+
+:func:`run_overload_suite` packages the acceptance measurement: a
+closed-loop capacity calibration, an unloaded latency baseline, then
+open-loop runs at 1x/2x/4x the calibrated capacity, appended to the
+benchmark trajectory by :func:`record_overload_benchmark`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+import json
+import socket
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..control.admission import AdmissionConfig, is_overloaded, retry_after_of
+from ..errors import RpcTimeout
+from ..net.client import LiveCaller
+from ..replication.envelope import MsgType, make_envelope
+from ..rpc.messages import Invocation
+from .loadgen import percentile
+
+GROUP = "timesvc"
+
+
+@dataclass
+class OpenLoopResult:
+    """One open-loop measurement at a fixed offered rate."""
+
+    offered_rate_ops_s: float
+    duration_s: float
+    identities: int
+    zipf_s: float
+    sent: int = 0
+    served: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    #: End-to-end latencies of *served* requests, microseconds.
+    latencies_us: List[int] = field(default_factory=list)
+    #: Retry-after hints carried by the shed replies, seconds.
+    retry_after_s: List[float] = field(default_factory=list)
+
+    @property
+    def goodput_ops_s(self) -> float:
+        return self.served / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.sent if self.sent else 0.0
+
+    @property
+    def p50_us(self) -> float:
+        return percentile(self.latencies_us, 0.50)
+
+    @property
+    def p99_us(self) -> float:
+        return percentile(self.latencies_us, 0.99)
+
+    def to_dict(self) -> Dict:
+        mean_retry = (sum(self.retry_after_s) / len(self.retry_after_s)
+                      if self.retry_after_s else 0.0)
+        return {
+            "mode": "open-loop",
+            "offered_rate_ops_s": round(self.offered_rate_ops_s, 1),
+            "duration_s": self.duration_s,
+            "identities": self.identities,
+            "zipf_s": self.zipf_s,
+            "sent": self.sent,
+            "served": self.served,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "goodput_ops_s": round(self.goodput_ops_s, 1),
+            "shed_rate": round(self.shed_rate, 4),
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "mean_retry_after_s": round(mean_retry, 4),
+        }
+
+
+class _ZipfPicker:
+    """Per-arrival zipf(``s``) identity draw (cumulative weights built
+    once; ``s == 0`` degenerates to uniform)."""
+
+    def __init__(self, universe: int, s: float, rng):
+        self._cum: List[float] = []
+        total = 0.0
+        for rank in range(1, universe + 1):
+            total += 1.0 / (rank ** s) if s else 1.0
+            self._cum.append(total)
+        self._total = total
+        self._rng = rng
+
+    def pick(self) -> int:
+        return bisect.bisect_left(self._cum, self._rng.random() * self._total)
+
+
+@dataclass
+class _PendingOp:
+    identity: int
+    sent_at: float
+    deadline: float
+
+
+class OpenLoopInjector:
+    """One UDP socket hosting a whole zipf-skewed client population.
+
+    Every identity gets its own client group (so the gateway's
+    per-client fairness and dedup windows see distinct clients) but all
+    replies return to this one socket; ``conn_id`` encodes the identity,
+    the per-identity sequence number completes the operation id.
+    Arrivals are fired on a Poisson schedule regardless of outstanding
+    requests — the defining property of open-loop load.
+    """
+
+    def __init__(self, servers: Sequence, *, identities: int,
+                 zipf_s: float, rng, group: str = GROUP,
+                 deadline_s: float = 0.5,
+                 method: str = "gettimeofday",
+                 bind_host: str = "127.0.0.1"):
+        self.servers = list(servers)
+        self.identities = identities
+        self.group = group
+        self.deadline_s = deadline_s
+        self.method = method
+        self.rng = rng
+        self.picker = _ZipfPicker(identities, zipf_s, rng)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind((bind_host, 0))
+        self._seqs = [0] * identities
+        #: (conn_id, seq) -> _PendingOp, insertion-ordered by send time
+        #: (deadlines are monotone in it, so expiry pops from the front).
+        self._pending: "OrderedDict[tuple, _PendingOp]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self.result: Optional[OpenLoopResult] = None
+
+    # -- sending -------------------------------------------------------
+
+    def _send_one(self, now: float) -> None:
+        identity = self.picker.pick()
+        self._seqs[identity] += 1
+        seq = self._seqs[identity]
+        conn_id = identity + 1
+        envelope = make_envelope(
+            MsgType.REQUEST,
+            f"client.ol{identity}",
+            self.group,
+            conn_id,
+            seq,
+            f"ol{identity}",
+            body=Invocation(self.method, (None,)),
+        )
+        from ..net.wire import encode_frame
+
+        data = encode_frame(f"ol{identity}", envelope)
+        # Identities are sticky to a gateway: dedup and fair-queue state
+        # for one client lives on one node.
+        address = self.servers[identity % len(self.servers)]
+        with self._lock:
+            self._pending[(conn_id, seq)] = _PendingOp(
+                identity, now, now + self.deadline_s)
+        try:
+            self.sock.sendto(data, address)
+        except OSError:
+            with self._lock:
+                self._pending.pop((conn_id, seq), None)
+            self.result.errors += 1
+            return
+        self.result.sent += 1
+
+    def _sender(self, rate_ops_s: float, duration_s: float) -> None:
+        start = time.monotonic()
+        deadline = start + duration_s
+        next_at = start
+        while True:
+            next_at += self.rng.expovariate(rate_ops_s)
+            if next_at >= deadline:
+                break
+            pause = next_at - time.monotonic()
+            if pause > 0:
+                time.sleep(pause)
+            self._send_one(time.monotonic())
+
+    # -- receiving -----------------------------------------------------
+
+    def _expire(self, now: float) -> None:
+        with self._lock:
+            while self._pending:
+                key = next(iter(self._pending))
+                if self._pending[key].deadline > now:
+                    break
+                del self._pending[key]
+                self.result.timeouts += 1
+
+    def _receiver(self) -> None:
+        from ..net.wire import FrameError, decode_frame
+
+        self.sock.settimeout(0.05)
+        while not (self._stop.is_set() and not self._pending):
+            self._expire(time.monotonic())
+            try:
+                data, _addr = self.sock.recvfrom(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            received = time.monotonic()
+            try:
+                _src, envelope = decode_frame(data)
+            except FrameError:
+                continue
+            header = envelope.header
+            if header.msg_type is not MsgType.REPLY:
+                continue
+            key = (header.conn_id, header.msg_seq_num)
+            with self._lock:
+                op = self._pending.pop(key, None)
+            if op is None:
+                continue  # duplicate replica reply or late straggler
+            result = envelope.body
+            if is_overloaded(result):
+                self.result.shed += 1
+                self.result.retry_after_s.append(retry_after_of(result))
+            elif getattr(result, "ok", False):
+                self.result.served += 1
+                self.result.latencies_us.append(
+                    int((received - op.sent_at) * 1_000_000))
+            else:
+                self.result.errors += 1
+
+    # -- driver --------------------------------------------------------
+
+    def run(self, bed, *, rate_ops_s: float, duration_s: float,
+            zipf_s: float, drain_s: float = 1.0) -> OpenLoopResult:
+        """Fire Poisson arrivals for ``duration_s`` while pumping the
+        testbed's event loop from this thread."""
+        self.result = OpenLoopResult(
+            offered_rate_ops_s=rate_ops_s, duration_s=duration_s,
+            identities=self.identities, zipf_s=zipf_s)
+        sender = threading.Thread(
+            target=self._sender, args=(rate_ops_s, duration_s),
+            name="openloop-sender", daemon=True)
+        receiver = threading.Thread(
+            target=self._receiver, name="openloop-receiver", daemon=True)
+        receiver.start()
+        sender.start()
+        deadline = time.monotonic() + duration_s
+        while time.monotonic() < deadline:
+            bed.run(0.05)
+        sender.join(timeout=5.0)
+        # Drain stragglers: replies already in flight when the window
+        # closed still count (their ops were offered inside it).
+        grace = time.monotonic() + drain_s
+        while self._pending and time.monotonic() < grace:
+            bed.run(0.05)
+        self._stop.set()
+        receiver.join(timeout=5.0)
+        return self.result
+
+    def close(self) -> None:
+        self._stop.set()
+        self.sock.close()
+
+
+def calibrate_capacity(bed, servers, *, threads: int = 8,
+                       duration_s: float = 1.5) -> float:
+    """Measured closed-loop capacity, ops/s: ``threads`` workers, each
+    one-in-flight, against the same gateways the open-loop run will hit.
+    This is the 1x anchor for the overload factors."""
+    stop = threading.Event()
+    counts = [0] * threads
+
+    def work(index: int) -> None:
+        # Rotate the server list per worker: the caller prefers the head
+        # of its list, so without rotation every worker would pile onto
+        # one gateway and calibrate that gateway, not the cluster.
+        pivot = index % len(servers)
+        spread = list(servers[pivot:]) + list(servers[:pivot])
+        caller = LiveCaller(spread, client_id=f"cal{index}")
+        last = None
+        try:
+            while not stop.is_set():
+                try:
+                    outcome = caller.call("gettimeofday", last, timeout=1.0)
+                except RpcTimeout:
+                    continue
+                result = outcome.first()
+                if result.ok:
+                    counts[index] += 1
+                    last = result.value["micros"]
+        finally:
+            caller.close()
+
+    workers = [threading.Thread(target=work, args=(i,), daemon=True)
+               for i in range(threads)]
+    for worker in workers:
+        worker.start()
+    deadline = time.monotonic() + duration_s
+    while time.monotonic() < deadline:
+        bed.run(0.05)
+    stop.set()
+    for worker in workers:
+        worker.join(timeout=3.0)
+    return sum(counts) / duration_s
+
+
+def run_overload_suite(
+    *,
+    seed: int = 0,
+    num_nodes: int = 3,
+    duration_s: float = 2.0,
+    identities: int = 64,
+    zipf_s: float = 1.1,
+    factors: Sequence[float] = (1.0, 2.0, 4.0),
+    baseline_fraction: float = 0.25,
+    deadline_s: float = 0.5,
+    calibration_s: float = 1.5,
+    admission_config: Optional[AdmissionConfig] = None,
+    fast_path: bool = True,
+    max_staleness_us: int = 2_000,
+) -> Dict:
+    """The overload acceptance measurement, end to end.
+
+    Boots a live cluster with admission-controlled gateways, calibrates
+    closed-loop capacity, records an unloaded open-loop baseline
+    (``baseline_fraction`` of capacity), then drives each overload
+    factor.  Returns a JSON-able document; feed it to
+    :func:`record_overload_benchmark` to persist.
+    """
+    import random
+
+    from ..control.rolling import _install_gateway
+    from ..net.daemon import TimeApp
+    from ..net.testbed import LiveTestbed
+
+    node_ids = [f"n{i}" for i in range(num_nodes)]
+    config = admission_config or AdmissionConfig()
+    bed = LiveTestbed(node_ids=node_ids, seed=seed)
+    gateways: list = []
+    try:
+        bed.deploy(GROUP, TimeApp, nodes=node_ids,
+                   style="active", time_source="cts",
+                   fast_path=fast_path, max_staleness_us=max_staleness_us)
+        bed.start()
+        for node_id in node_ids:
+            _install_gateway(bed, node_id, gateways, config)
+        servers = [bed.node(node_id).address for node_id in node_ids]
+
+        capacity = calibrate_capacity(bed, servers,
+                                      duration_s=calibration_s)
+        rng = random.Random(seed ^ 0x09E2)
+
+        def one_run(rate: float, run_s: float = duration_s) -> OpenLoopResult:
+            injector = OpenLoopInjector(
+                servers, identities=identities, zipf_s=zipf_s, rng=rng,
+                deadline_s=deadline_s)
+            try:
+                return injector.run(bed, rate_ops_s=rate,
+                                    duration_s=run_s, zipf_s=zipf_s)
+            finally:
+                injector.close()
+
+        # The baseline p99 anchors the acceptance ratio, and at a
+        # fraction of capacity the sample count is small — run it twice
+        # as long so its tail estimate is not dominated by a handful of
+        # scheduler hiccups.
+        baseline = one_run(max(10.0, baseline_fraction * capacity),
+                           run_s=duration_s * 2)
+        points = {f"{factor:g}x": one_run(factor * capacity)
+                  for factor in factors}
+
+        suite: Dict = {
+            "kind": "open-loop-overload",
+            "seed": seed,
+            "nodes": num_nodes,
+            "capacity_ops_s": round(capacity, 1),
+            "admission": {
+                "max_inflight": config.max_inflight,
+                "max_global_queue": config.max_global_queue,
+                "max_client_queue": config.max_client_queue,
+                "max_queue_delay_s": config.max_queue_delay_s,
+            },
+            "baseline": baseline.to_dict(),
+            "points": {label: r.to_dict()
+                       for label, r in points.items()},
+            "admission_stats": [g.admission.stats.to_dict()
+                                for g in gateways
+                                if g.admission is not None],
+        }
+        worst = points.get(f"{max(factors):g}x")
+        if worst is not None and baseline.p99_us:
+            # vs the unloaded anchor: includes the latency cost of
+            # *keeping the pipeline loaded* at all (queues are empty at
+            # baseline_fraction of capacity by construction).
+            suite["p99_ratio_vs_baseline"] = round(
+                worst.p99_us / baseline.p99_us, 2)
+        saturated = points.get(f"{min(factors):g}x")
+        if (worst is not None and saturated is not None
+                and saturated is not worst and saturated.p99_us):
+            # vs the highest non-overloaded operating point: the
+            # no-collapse bound — overload beyond saturation must not
+            # stretch the served tail, only raise the shed rate.
+            suite["p99_ratio_vs_saturation"] = round(
+                worst.p99_us / saturated.p99_us, 2)
+        return suite
+    finally:
+        bed.shutdown()
+
+
+def record_overload_benchmark(path, suite: Dict) -> Dict:
+    """Append one overload suite to the benchmark trajectory (same
+    document as :func:`~repro.workloads.loadgen.record_benchmark`)."""
+    path = Path(path)
+    doc: Dict = {"benchmark": "loadgen-throughput", "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict) and isinstance(
+                    existing.get("runs"), list):
+                doc = existing
+        except ValueError:
+            pass
+    run = dict(suite)
+    run["recorded_at"] = datetime.date.today().isoformat()
+    doc["runs"].append(run)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc

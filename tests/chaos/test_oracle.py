@@ -58,6 +58,91 @@ class TestStaleness:
         oracle.observe_reply("c0", 1_000_001, wall_s=20.0)
         assert checks(oracle) == ["staleness"]
 
+    def test_catchup_to_known_mapping_is_allowed(self):
+        # Membership churn freezes rounds: served values drift behind
+        # wall a little per call (inside the rtt slack), then the first
+        # post-reformation round snaps time back to the mapping the
+        # healthy phase established.  The snap is catch-up, not a
+        # violation.
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.005)
+        wall, value = 10.0, 1_000_000
+        for _ in range(10):  # lagging phase: 8 ms of value per 20 ms
+            wall += 0.020
+            value += 8_000
+            oracle.observe_reply("c0", value, wall_s=wall, rtt_s=0.005)
+        assert oracle.ok, oracle.violations
+        wall += 0.020  # snap: the accumulated 120 ms lag is repaid
+        oracle.observe_reply("c0", value + 140_000, wall_s=wall,
+                             rtt_s=0.005)
+        assert oracle.ok, oracle.violations
+        assert oracle.catchups_allowed == 1
+
+    def test_transient_lag_repaid_is_tolerated(self):
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.001)
+        oracle.observe_reply("c0", 1_050_000, wall_s=10.05, rtt_s=0.001)
+        # Reconfiguration stall: 1 ms of value over 100 ms of wall —
+        # staleness debt, tolerated while it stays shallow.
+        oracle.observe_reply("c0", 1_051_000, wall_s=10.15, rtt_s=0.001)
+        assert oracle.ok, oracle.violations
+        assert oracle.stalls_tolerated == 1
+        # The post-reformation snap repays the debt.
+        oracle.observe_reply("c0", 1_201_000, wall_s=10.20, rtt_s=0.001)
+        oracle.finish()
+        assert oracle.ok, oracle.violations
+        assert oracle.catchups_allowed == 1
+
+    def test_unrepaid_lag_flags_at_finish(self):
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.001)
+        oracle.observe_reply("c0", 1_050_000, wall_s=10.05, rtt_s=0.001)
+        oracle.observe_reply("c0", 1_051_000, wall_s=10.15, rtt_s=0.001)
+        oracle.finish()  # run ends with the clock still lagging
+        assert checks(oracle) == ["staleness"]
+        assert "never caught back up" in oracle.violations[0].detail
+
+    def test_noted_reconfig_forgives_unrepaid_lag(self):
+        # A permanent drain legitimately shifts the value<->wall mapping
+        # down (group time continues from the agreed value, it never
+        # resnaps to wall), so with a reconfiguration on record the
+        # finish() debt check must not flag.
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.001)
+        oracle.observe_reply("c0", 1_050_000, wall_s=10.05, rtt_s=0.001)
+        oracle.note_reconfig("n0")
+        oracle.observe_reply("c0", 1_051_000, wall_s=10.15, rtt_s=0.001)
+        oracle.finish()
+        assert oracle.ok, oracle.violations
+        assert oracle.reconfigs_noted == 1
+        assert oracle.stalls_tolerated == 1
+
+    def test_reconfig_overshoot_within_transient_bound_tolerated(self):
+        # A restarted member's first round can re-anchor group time
+        # *above* any mapping the shrunk ring ever served (it repays
+        # stalls the others wrote off).  With a reconfig on record the
+        # overshoot is tolerated up to the transient bound.
+        oracle = InvariantOracle(staleness_budget_us=2_000,
+                                 max_transient_lag_us=1_000_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.001)
+        oracle.observe_reply("c0", 1_100_000, wall_s=10.1, rtt_s=0.001)
+        oracle.note_reconfig("n1")
+        oracle.observe_reply("c0", 1_600_000, wall_s=10.11, rtt_s=0.001)
+        assert oracle.ok, oracle.violations
+        assert oracle.overshoots_tolerated == 1
+        # ...but a jump past the bound is still time from the future.
+        oracle.observe_reply("c0", 9_000_000, wall_s=10.12, rtt_s=0.001)
+        assert checks(oracle) == ["staleness"]
+
+    def test_jump_beyond_known_mapping_still_flagged(self):
+        oracle = InvariantOracle(staleness_budget_us=2_000)
+        oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.001)
+        oracle.observe_reply("c0", 1_100_000, wall_s=10.1, rtt_s=0.001)
+        # This jump lands far *ahead* of any mapping ever observed —
+        # never exempt, no matter what preceded it.
+        oracle.observe_reply("c0", 2_000_000, wall_s=10.11, rtt_s=0.001)
+        assert checks(oracle) == ["staleness"]
+
     def test_rtt_widens_the_slack(self):
         oracle = InvariantOracle(staleness_budget_us=2_000)
         oracle.observe_reply("c0", 1_000_000, wall_s=10.0, rtt_s=0.5)

@@ -31,6 +31,13 @@ EXAMPLE_SCHEDULE_HASH = (
 BYZANTINE_SCHEDULE_HASH = (
     "8de80eefae409ad746c4f4af387482a5d70fe63e20f93379432f5e0f677a1dab")
 
+RECONFIG_EXAMPLE = EXAMPLES / "chaos_reconfig.yaml"
+
+#: Pin for the reconfiguration scenario: guards the drain/join event
+#: kinds' canonical form alongside the schedule itself.
+RECONFIG_SCHEDULE_HASH = (
+    "152dc353661ce867fbdb380e6a59ddc2a56978dddbcf86472e112e9054cb36c2")
+
 
 class TestYamlSubset:
     def test_scalars(self):
@@ -177,6 +184,26 @@ class TestCompile:
         assert event.kind == "corrupt-state"
         assert event.target == ("n1",)
 
+    def test_reconfig_example_compiles_to_expected_kinds(self):
+        scenario = load_scenario(RECONFIG_EXAMPLE)
+        plan = compile_plan(scenario)
+        assert [e.kind for e in plan.schedule()] == [
+            "drop", "drain", "join", "crash", "join", "drain"]
+
+    def test_drain_event_carries_node(self):
+        scenario = scenario_from_dict({
+            "events": [{"at": 1.0, "drain": "n2"}]})
+        (event,) = compile_plan(scenario).schedule()
+        assert event.kind == "drain"
+        assert event.target == ("n2",)
+
+    def test_join_event_carries_node(self):
+        scenario = scenario_from_dict({
+            "events": [{"at": 1.0, "join": "n2"}]})
+        (event,) = compile_plan(scenario).schedule()
+        assert event.kind == "join"
+        assert event.target == ("n2",)
+
     def test_auth_defaults_off(self):
         scenario = scenario_from_dict({
             "events": [{"at": 1.0, "crash": "n0"}]})
@@ -220,6 +247,10 @@ class TestReproducibilityPin:
     def test_byzantine_schedule_hash_is_pinned(self):
         plan = compile_plan(load_scenario(BYZANTINE_EXAMPLE))
         assert plan.schedule_hash() == BYZANTINE_SCHEDULE_HASH
+
+    def test_reconfig_schedule_hash_is_pinned(self):
+        plan = compile_plan(load_scenario(RECONFIG_EXAMPLE))
+        assert plan.schedule_hash() == RECONFIG_SCHEDULE_HASH
 
     def test_byzantine_kinds_hash_canonically(self):
         # The generic FaultEvent.canonical() must keep covering the new

@@ -1,0 +1,176 @@
+"""Unit tests for the admission controller (no testbed, fake clock)."""
+
+from repro.control.admission import (
+    OVERLOADED,
+    AdmissionConfig,
+    AdmissionController,
+    is_overloaded,
+    overloaded_value,
+    retry_after_of,
+)
+from repro.rpc.messages import Result
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class Harness:
+    """Records which of the two callbacks fired, per op key."""
+
+    def __init__(self, controller: AdmissionController):
+        self.controller = controller
+        self.dispatched = []
+        self.shed = []  # (key, retry_after_s)
+
+    def submit(self, client: str, key) -> bool:
+        return self.controller.submit(
+            client, key,
+            lambda: self.dispatched.append(key),
+            lambda ra: self.shed.append((key, ra)))
+
+
+def make(clock=None, **overrides) -> Harness:
+    config = AdmissionConfig(
+        max_inflight=2, max_global_queue=4, max_client_queue=2,
+        max_queue_delay_s=0.25, inflight_timeout_s=5.0)
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    controller = AdmissionController(
+        config, node_id="t", clock=clock or FakeClock())
+    return Harness(controller)
+
+
+class TestFastPath:
+    def test_dispatches_while_pipeline_has_room(self):
+        h = make()
+        assert h.submit("a", 1) and h.submit("a", 2)
+        assert h.dispatched == [1, 2]
+        assert h.controller.inflight == 2
+        assert h.controller.stats.admitted == 2
+
+    def test_excess_parks_and_pumps_on_complete(self):
+        h = make()
+        h.submit("a", 1)
+        h.submit("a", 2)
+        h.submit("a", 3)  # pipeline full -> parked
+        assert h.dispatched == [1, 2]
+        assert h.controller.queue_depth == 1
+        h.controller.complete(1)
+        assert h.dispatched == [1, 2, 3]
+        assert h.controller.queue_depth == 0
+        assert h.controller.stats.queued == 1
+
+    def test_complete_is_idempotent(self):
+        h = make()
+        h.submit("a", 1)
+        h.controller.complete(1)
+        h.controller.complete(1)
+        assert h.controller.stats.completed == 1
+
+
+class TestShedding:
+    def test_global_queue_bound(self):
+        h = make()
+        for i in range(2 + 4):  # fill pipeline, then the global queue
+            h.submit(f"c{i}", i)
+        assert h.submit("late", 99) is False
+        assert [key for key, _ in h.shed] == [99]
+        assert h.shed[0][1] > 0.0
+        assert h.controller.stats.shed == {"global_full": 1}
+
+    def test_per_client_queue_bound(self):
+        h = make()
+        h.submit("a", 1)
+        h.submit("a", 2)
+        h.submit("a", 3)
+        h.submit("a", 4)  # a's queue now at max_client_queue=2
+        assert h.submit("a", 5) is False
+        assert h.controller.stats.shed == {"client_full": 1}
+        # Another identity still gets a slot.
+        assert h.submit("b", 6) is True
+        assert h.controller.queue_depth == 3
+
+    def test_deadline_estimate_sheds_before_queueing(self):
+        # One-wide pipeline, tiny budget: with the default 50ms service
+        # EWMA, any op that must wait for the pipeline to drain is
+        # already predicted to miss its deadline — shed at arrival, not
+        # after the wait.
+        h = make(max_inflight=1, max_queue_delay_s=0.04,
+                 max_global_queue=100, max_client_queue=100)
+        h.submit("a", 1)  # dispatched
+        assert h.submit("a", 2) is False
+        assert h.controller.stats.shed == {"deadline": 1}
+        # A roomier budget parks instead.
+        roomy = make(max_inflight=1, max_queue_delay_s=0.2,
+                     max_global_queue=100, max_client_queue=100)
+        roomy.submit("a", 1)
+        assert roomy.submit("a", 2) is True
+        assert roomy.controller.queue_depth == 1
+
+    def test_parked_ops_age_out(self):
+        clock = FakeClock()
+        h = make(clock=clock)
+        h.submit("a", 1)
+        h.submit("a", 2)
+        h.submit("a", 3)  # parked
+        clock.advance(1.0)  # way past max_queue_delay_s
+        h.controller.complete(1)
+        assert 3 not in h.dispatched
+        assert h.controller.stats.shed == {"aged_out": 1}
+
+    def test_retry_after_respects_floor_and_cap(self):
+        h = make(retry_after_floor_s=0.05, retry_after_cap_s=2.0)
+        assert h.controller.retry_after_s() >= 0.05
+        for i in range(6):
+            h.submit("a", i)
+        h.controller._service_ewma_s = 60.0  # pathological service time
+        assert h.controller.retry_after_s() == 2.0
+
+
+class TestFairness:
+    def test_round_robin_across_clients(self):
+        h = make(max_inflight=1, max_queue_delay_s=100.0)
+        h.submit("a", "a0")  # inflight
+        for key in ("a1", "a2"):
+            h.submit("a", key)
+        h.submit("b", "b1")
+        # Drain one at a time: b's single op must not wait behind all of
+        # a's backlog.
+        h.controller.complete("a0")
+        h.controller.complete("a1")
+        assert h.dispatched == ["a0", "a1", "b1"]
+
+
+class TestInflightReclaim:
+    def test_lost_replies_do_not_wedge_admission(self):
+        clock = FakeClock()
+        h = make(clock=clock)
+        h.submit("a", 1)
+        h.submit("a", 2)  # pipeline full, replies never arrive
+        clock.advance(6.0)  # past inflight_timeout_s
+        assert h.submit("b", 3) is True
+        assert 3 in h.dispatched
+        assert h.controller.stats.reclaimed == 2
+
+
+class TestOverloadedResult:
+    def test_round_trip_through_result(self):
+        shed = Result(value=overloaded_value(0.123456), error=OVERLOADED)
+        assert is_overloaded(shed)
+        assert retry_after_of(shed) == 0.1235
+        ok = Result(value={"micros": 1}, error=None)
+        assert not is_overloaded(ok)
+        assert retry_after_of(ok) == 0.0
+
+    def test_dict_form(self):
+        assert is_overloaded({"error": OVERLOADED, "value": {}})
+        assert retry_after_of(
+            {"error": OVERLOADED, "value": {"retry_after_s": 0.5}}) == 0.5

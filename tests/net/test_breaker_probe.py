@@ -1,0 +1,102 @@
+"""The circuit breaker's half-open state admits a single probe.
+
+Regression tests for the probe-token race: a tripped breaker past its
+cooldown used to admit a probe on *every* sweep, so several concurrent
+callers (or successive sweeps of one call) would all hammer the
+recovering server at once.  The token (``_Breaker.probing``) must be
+taken by exactly one sweep and released only when the probe resolves —
+or when it lapses, if the claiming call died before sending it.
+
+These drive ``_sweep_order`` / ``_record_*`` directly; no packets move.
+"""
+
+import threading
+import time
+
+from repro.net.client import LiveCaller
+
+ADDR = ("127.0.0.1", 45999)
+
+
+def tripped_caller() -> LiveCaller:
+    caller = LiveCaller([ADDR], client_id="probe-test")
+    for _ in range(LiveCaller.BREAKER_THRESHOLD):
+        caller._record_failure(ADDR)
+    return caller
+
+
+def half_open_instant() -> float:
+    """A ``now`` at which the tripped breaker's cooldown has elapsed."""
+    return time.monotonic() + LiveCaller.BREAKER_COOLDOWN + 0.01
+
+
+class TestSingleProbeToken:
+    def test_second_sweep_during_half_open_is_skipped(self):
+        caller = tripped_caller()
+        try:
+            now = half_open_instant()
+            assert caller._sweep_order(now) == [ADDR]  # takes the token
+            assert caller._sweep_order(now) == []      # token already held
+            assert caller.stats.breaker_skips == 1
+        finally:
+            caller.close()
+
+    def test_probe_failure_releases_the_token_and_reopens(self):
+        caller = tripped_caller()
+        try:
+            now = half_open_instant()
+            assert caller._sweep_order(now) == [ADDR]
+            caller._record_failure(ADDR)  # the probe timed out
+            # Breaker is open again: skipped until the next cooldown...
+            assert caller._sweep_order(time.monotonic()) == []
+            # ...after which a fresh probe is admitted.
+            assert caller._sweep_order(half_open_instant()) == [ADDR]
+        finally:
+            caller.close()
+
+    def test_probe_success_closes_the_breaker(self):
+        caller = tripped_caller()
+        try:
+            assert caller._sweep_order(half_open_instant()) == [ADDR]
+            caller._record_success(ADDR)
+            # Fully closed: every sweep lists the server again.
+            assert caller._sweep_order(time.monotonic()) == [ADDR]
+            assert caller._sweep_order(time.monotonic()) == [ADDR]
+        finally:
+            caller.close()
+
+    def test_orphaned_token_lapses_after_cooldown(self):
+        """If the claiming call hits its deadline before sending the
+        probe, the token must not wedge the server out of rotation
+        forever — it expires one cooldown after it was taken."""
+        caller = tripped_caller()
+        try:
+            claimed_at = half_open_instant()
+            assert caller._sweep_order(claimed_at) == [ADDR]
+            # The claimer vanished without recording an outcome.
+            assert caller._sweep_order(claimed_at) == []
+            lapsed = claimed_at + LiveCaller.BREAKER_COOLDOWN
+            assert caller._sweep_order(lapsed) == [ADDR]
+        finally:
+            caller.close()
+
+    def test_concurrent_sweeps_admit_exactly_one_probe(self):
+        caller = tripped_caller()
+        try:
+            now = half_open_instant()
+            admitted = []
+            barrier = threading.Barrier(8)
+
+            def sweep():
+                barrier.wait()
+                admitted.append(caller._sweep_order(now))
+
+            threads = [threading.Thread(target=sweep) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert sum(1 for order in admitted if ADDR in order) == 1
+            assert caller.stats.breaker_skips == 7
+        finally:
+            caller.close()

@@ -123,3 +123,65 @@ class TestGatewayDedup:
         gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
         assert gateway.requests_deduplicated == 0
         assert gateway.requests_injected == ClientGateway.DEDUP_WINDOW + 2
+        # One eviction for the overflow insert, one more when the
+        # re-executed op 1 pushed the window over again.
+        assert gateway.dedup_evictions == 2
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_timed_gateway():
+    runtime, port, clock = FakeRuntime(), FakePort(), FakeClock()
+    gateway = ClientGateway(runtime, port, node_id="n0", clock=clock)
+    return gateway, runtime, port, clock
+
+
+class TestGatewayWindowBounds:
+    """The idempotency window is bounded by age as well as count."""
+
+    def test_stale_ops_expire_after_the_ttl(self):
+        gateway, runtime, port, clock = make_timed_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        clock.now = ClientGateway.DEDUP_TTL_S + 1.0
+        # Any traffic sweeps the expired entry out...
+        gateway.handle(LiveFrame("c1", request(2), 64, ADDR_A))
+        assert gateway.dedup_evictions == 1
+        # ...so a (pathologically late) retry of op 1 re-executes.
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        assert gateway.requests_deduplicated == 0
+        assert gateway.requests_injected == 3
+
+    def test_retry_refreshes_the_ttl(self):
+        gateway, runtime, port, clock = make_timed_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        clock.now = ClientGateway.DEDUP_TTL_S - 1.0
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))  # retry
+        assert gateway.requests_deduplicated == 1
+        # One TTL after the *retry*, not the original: still remembered.
+        clock.now += ClientGateway.DEDUP_TTL_S - 1.0
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        assert gateway.requests_deduplicated == 2
+        assert gateway.dedup_evictions == 0
+
+    def test_fresh_ops_survive_the_sweep(self):
+        gateway, runtime, port, clock = make_timed_gateway()
+        gateway.handle(LiveFrame("c1", request(1), 64, ADDR_A))
+        clock.now = ClientGateway.DEDUP_TTL_S + 1.0
+        gateway.handle(LiveFrame("c1", request(2), 64, ADDR_A))
+        clock.now += 1.0
+        gateway.handle(LiveFrame("c1", request(2), 64, ADDR_A))  # retry
+        assert gateway.requests_deduplicated == 1
+        assert gateway.dedup_evictions == 1  # only op 1 aged out
+
+    def test_route_table_is_lru_bounded(self):
+        gateway, runtime, port, clock = make_timed_gateway()
+        for i in range(ClientGateway.ROUTES_CAP + 5):
+            gateway.handle(LiveFrame("c", request(1, client=f"c{i}"), 64, ADDR_A))
+        assert len(gateway.routes) == ClientGateway.ROUTES_CAP
+        assert "client.c0" not in gateway.routes

@@ -111,6 +111,30 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="already crashed"):
             plan.arm(bed)
 
+    def test_drain_requires_a_control_plane(self):
+        bed = make_testbed(seed=169)
+        plan = FaultPlan().drain("n1", at=0.01)
+        with pytest.raises(ConfigurationError, match="control plane"):
+            plan.arm(bed)
+
+    def test_join_requires_a_control_plane(self):
+        bed = make_testbed(seed=169)
+        plan = FaultPlan().join("n1", at=0.01)
+        with pytest.raises(ConfigurationError, match="control plane"):
+            plan.arm(bed)
+
+    def test_join_after_crash_is_legal(self):
+        # A join recovers a crashed node, so later events may target it.
+        bed = make_testbed(seed=169)
+        bed.control_drain = lambda node_id: True
+        bed.control_join = lambda node_id: True
+        plan = (FaultPlan()
+                .crash("n1", at=0.01)
+                .join("n1", at=0.02)
+                .crash("n1", at=0.03))
+        plan.arm(bed)  # must not raise
+        assert len(plan.events) == 3
+
     def test_rates_must_be_probabilities(self):
         for build in (
             lambda p: p.drop(1.5, at=0.01),
@@ -231,3 +255,16 @@ class TestInjection:
         FaultPlan().call(lambda: fired.append(bed.sim.now), at=0.02).arm(bed)
         bed.run(0.05)
         assert fired == [pytest.approx(0.02)]
+
+    def test_drain_and_join_dispatch_to_control_hooks(self):
+        bed = make_testbed(seed=170)
+        calls = []
+        bed.control_drain = lambda node_id: calls.append(("drain", node_id))
+        bed.control_join = lambda node_id: calls.append(("join", node_id))
+        plan = (FaultPlan()
+                .drain("n2", at=0.01)
+                .join("n2", at=0.03)
+                .arm(bed))
+        bed.run(0.05)
+        assert calls == [("drain", "n2"), ("join", "n2")]
+        assert plan.done
